@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+experiment registry and asserts its *shape* properties (who wins, by
+roughly what factor) against the paper's reported values.  Trace length
+is reduced relative to the paper's 2-billion-instruction windows to keep
+the harness fast; the shapes are stable at this scale.
+"""
+
+import pytest
+
+#: Events per workload for benchmark runs.
+BENCH_EVENTS = 8000
+
+
+@pytest.fixture(scope="session")
+def bench_events():
+    return BENCH_EVENTS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

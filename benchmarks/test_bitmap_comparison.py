@@ -1,0 +1,34 @@
+"""Benchmark: Draco vs the Linux 5.11 action-cache bitmap (extension).
+
+The paper's upstream legacy quantified: the bitmap recovers the ID-only
+checking cost but cannot touch argument checking, which is exactly the
+part Draco's VAT/SLB removes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import bitmap_comparison
+
+BENCH_EVENTS = 6000
+
+
+def test_bitmap_vs_draco_shape(benchmark):
+    result = run_once(benchmark, bitmap_comparison.run, events=BENCH_EVENTS)
+    rows = [dict(zip(result.columns, row)) for row in result.rows]
+
+    for row in rows:
+        if row["profile"] == "noargs":
+            # Bitmap hits nearly everything on ID-only profiles...
+            assert row["bitmap_hit_rate"] > 0.95, row["workload"]
+            # ...and lands at (or below) plain Seccomp.
+            assert row["seccomp+bitmap"] <= row["seccomp"] + 1e-6
+        else:
+            # Argument-checked syscalls dominate: bitmap coverage falls
+            # and the bitmap regime reverts toward plain Seccomp.
+            assert row["bitmap_hit_rate"] < 0.6, row["workload"]
+            gap_to_seccomp = row["seccomp"] - row["seccomp+bitmap"]
+            draco_gain = row["seccomp"] - row["draco-hw"]
+            assert draco_gain > gap_to_seccomp, row["workload"]
+            # Hardware Draco dominates everything on complete profiles.
+            assert row["draco-hw"] <= min(
+                row["seccomp"], row["seccomp+bitmap"], row["draco-sw"]
+            ) + 1e-6

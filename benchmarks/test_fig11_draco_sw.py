@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (software Draco vs Seccomp).
+
+Paper shape: software Draco beats Seccomp for argument-checking
+profiles, and its cost is flat as checks double (macro: 1.14->1.10 at
+1x, 1.21->1.10 at 2x; micro: 1.25->1.18, 1.42->1.23).
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import fig11_draco_sw
+
+
+def test_fig11_regenerates_with_paper_shape(benchmark):
+    result = run_once(benchmark, fig11_draco_sw.run, events=BENCH_EVENTS)
+
+    for kind in ("macro", "micro"):
+        row = result.row_dict(f"average-{kind}")
+        # Draco-SW wins wherever arguments are checked.
+        assert row["draco-sw-complete"] < row["syscall-complete"]
+        assert row["draco-sw-complete-2x"] < row["syscall-complete-2x"]
+        # The win grows with 2x checks (Draco's cost is hit-path-bound).
+        gain_1x = row["syscall-complete"] - row["draco-sw-complete"]
+        gain_2x = row["syscall-complete-2x"] - row["draco-sw-complete-2x"]
+        assert gain_2x > gain_1x
+        # Draco-SW is essentially flat from 1x to 2x (paper: 1.10 -> 1.10).
+        assert row["draco-sw-complete-2x"] - row["draco-sw-complete"] < 0.02
+
+    macro = result.row_dict("average-macro")
+    micro = result.row_dict("average-micro")
+    # Paper targets: macro 1.10, micro 1.18 for draco-sw-complete.
+    assert abs(macro["draco-sw-complete"] - 1.10) < 0.05
+    assert abs(micro["draco-sw-complete"] - 1.18) < 0.06

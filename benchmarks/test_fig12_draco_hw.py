@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 12 (hardware Draco).
+
+Paper shape: hardware Draco is within ~1% of insecure for every profile,
+including the double-size checks.
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import fig12_draco_hw
+
+
+def test_fig12_regenerates_with_paper_shape(benchmark):
+    result = run_once(benchmark, fig12_draco_hw.run, events=BENCH_EVENTS)
+
+    macro = result.row_dict("average-macro")
+    micro = result.row_dict("average-micro")
+    for row in (macro, micro):
+        for regime in ("draco-hw-noargs", "draco-hw-complete", "draco-hw-complete-2x"):
+            assert row[regime] < 1.02, (regime, row[regime])
+        # ID-only checking is cheapest of all.
+        assert row["draco-hw-noargs"] <= row["draco-hw-complete"]
+
+    # No single workload blows up (worst case stays within a few %).
+    for row in result.rows:
+        entry = dict(zip(result.columns, row))
+        if str(entry["workload"]).startswith("average"):
+            continue
+        assert entry["draco-hw-complete"] < 1.04, entry

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 14 (argument-count distribution).
+
+Paper shape: the Linux interface is dominated by low argument counts;
+per-application distributions are narrow (most checked syscalls take
+three or fewer checkable arguments), which is what justifies the SLB
+subtable sizing (big 2/3-arg tables, small 6-arg table).
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import fig14_arg_distribution
+
+
+def test_fig14_regenerates_with_paper_shape(benchmark):
+    result = run_once(benchmark, fig14_arg_distribution.run, events=BENCH_EVENTS)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+
+    linux = rows["linux"]
+    counts = [linux[f"args={n}"] for n in range(7)]
+    # Most of the interface takes <= 3 checkable arguments.
+    assert sum(counts[:4]) > 0.75 * sum(counts)
+    # 6-checkable-arg syscalls are rare -> the smallest subtable.
+    assert counts[6] < counts[2]
+    assert counts[6] < counts[3]
+
+    # Every workload's dynamic median is within [0, 3].
+    for name, row in rows.items():
+        assert 0 <= row["median"] <= 3, name

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 15 (profile security metrics).
+
+Paper shape: app-specific profiles allow far fewer syscalls than
+docker-default (50-100 vs 358), a sizeable minority of them runtime-
+required; they check tens of argument slots and whitelist 10^2-10^3
+argument values, versus docker's 3 slots / 7 values.
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import fig15_security
+
+
+def test_fig15_regenerates_with_paper_shape(benchmark):
+    result = run_once(benchmark, fig15_security.run, events=BENCH_EVENTS)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+
+    linux = rows.pop("linux")
+    docker = rows.pop("docker-default")
+    assert docker["syscalls_allowed"] > 0.8 * linux["syscalls_allowed"]
+    assert docker["argument_values_allowed"] <= 10
+
+    for name, row in rows.items():
+        # App-specific profiles are dramatically smaller.
+        assert row["syscalls_allowed"] <= 45
+        assert row["syscalls_allowed"] < docker["syscalls_allowed"] / 6
+        # Some of the profile is runtime-required (paper: ~20%).
+        assert row["runtime_required"] >= 1
+        # Argument checking is comprehensive.
+        assert row["argument_slots_checked"] >= 2
+        assert row["argument_values_allowed"] >= 10
+
+    # The biggest applications whitelist hundreds of values (paper: up
+    # to 2458).
+    assert max(row["argument_values_allowed"] for row in rows.values()) > 200

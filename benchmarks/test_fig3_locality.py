@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 3 (syscall frequency and reuse distance).
+
+Paper shape: the top-20 syscalls cover ~86% of all calls; the popular
+syscalls concentrate on a few argument sets; reuse distances are tens of
+syscalls.
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import fig3_locality
+
+
+def test_fig3_regenerates_with_paper_shape(benchmark):
+    result = run_once(benchmark, fig3_locality.run, events=BENCH_EVENTS)
+
+    fractions = result.column("fraction_of_calls")
+    top20 = sum(fractions)
+    assert 0.75 <= top20 <= 1.0  # paper: 86%
+
+    # The most frequent syscall is one of the paper's heavy hitters.
+    assert result.rows[0][0] in ("read", "futex", "recvfrom", "write")
+
+    # Argument-set concentration: popular syscalls mostly use few sets.
+    top3_shares = result.column("top3_arg_set_share")
+    concentrated = sum(1 for share in top3_shares if share >= 0.3)
+    assert concentrated >= len(top3_shares) // 2
+
+    # Reuse distances: mean is tens of syscalls, not thousands.
+    distances = [d for d in result.column("mean_reuse_distance") if d == d]
+    assert distances
+    assert min(distances) < 100
+    assert sum(distances) / len(distances) < 2000

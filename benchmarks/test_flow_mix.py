@@ -1,0 +1,29 @@
+"""Benchmark: flow-occupancy extension analysis.
+
+Validates the paper's working assumption that flow 1 (all hits) is the
+dominant case, with fast flows covering the overwhelming majority of
+syscalls in steady state.
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import flow_mix
+
+
+def test_flow_mix_fast_paths_dominate(benchmark):
+    result = run_once(benchmark, flow_mix.run, events=BENCH_EVENTS)
+
+    for row in result.rows:
+        entry = dict(zip(result.columns, row))
+        # Fast flows (1/3/5/SPT-only) cover the large majority everywhere
+        # (lowest for the STB-pressured Elasticsearch/Redis, as Fig 13
+        # predicts).
+        assert entry["fast_fraction"] > 0.65, entry["workload"]
+        # Flow 1 or SPT-only is the single most common flow.
+        flows = {k: v for k, v in entry.items() if k.startswith(("FLOW", "SPT", "OS"))}
+        top = max(flows, key=flows.get)
+        assert top in ("FLOW_1", "SPT_ONLY"), (entry["workload"], top)
+
+    # Across all workloads, flow 1 is the aggregate winner (the paper's
+    # "most frequent" assumption).
+    flow1_total = sum(row[1] for row in result.rows)
+    assert flow1_total / len(result.rows) > 0.5

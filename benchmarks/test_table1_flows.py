@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (the six Draco execution flows).
+
+Paper shape: the hit/miss lattice produces exactly six flows; 1/3/5 are
+fast (stall = table access only), 2/4/6 are slow (VAT walk, possibly OS).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_flows
+
+
+def test_table1_regenerates_all_flows(benchmark):
+    result = run_once(benchmark, table1_flows.run)
+    rows = [dict(zip(result.columns, row)) for row in result.rows]
+
+    observed_flows = {row["flow"] for row in rows}
+    assert {"FLOW_1", "FLOW_2", "FLOW_3", "FLOW_4", "FLOW_5", "FLOW_6"} <= observed_flows
+
+    fast = [row for row in rows if row["paper_speed"] == "fast"]
+    slow = [row for row in rows if row["paper_speed"] == "slow"]
+    assert fast and slow
+    # Every fast flow is cheaper than every slow flow.
+    assert max(row["stall_cycles"] for row in fast) < min(
+        row["stall_cycles"] for row in slow
+    )
+    # The first-touch flows invoke the OS; warmed flows never do.
+    assert any(row["os_invoked"] for row in rows)
+    assert all(not row["os_invoked"] for row in fast)

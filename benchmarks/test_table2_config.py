@@ -1,0 +1,21 @@
+"""Benchmark: verify Table II (architectural configuration)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_config
+
+
+def test_table2_matches_paper(benchmark):
+    result = run_once(benchmark, table2_config.run)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+
+    assert rows["cores"]["configured"] == 10
+    assert rows["rob_entries"]["configured"] == 128
+    assert rows["frequency_ghz"]["configured"] == 2.0
+    assert rows["l1d"]["configured"] == "32KB/8w/2cyc"
+    assert rows["l2"]["configured"] == "256KB/8w/8cyc"
+    assert rows["l3"]["configured"] == "8MB/16w/32cyc"
+    assert rows["stb"]["configured"].startswith("256 entries/2w")
+    assert rows["spt"]["configured"].startswith("384 entries/1w")
+    assert rows["slb_3arg"]["configured"].startswith("64 entries/4w")
+    assert rows["slb_6arg"]["configured"].startswith("16 entries/4w")
+    assert rows["crc_cycles"]["configured"] == 3

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table III (hardware area/time/energy/leakage).
+
+Paper shape: every SRAM structure is accessed in under 150 ps (hence
+2-cycle accesses); the CRC generator needs 964 ps (3 cycles); total
+Draco area is a few hundredths of a mm^2 at 22 nm.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_hwcost
+
+
+def test_table3_matches_paper(benchmark):
+    result = run_once(benchmark, table3_hwcost.run)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+
+    for name in ("SPT", "STB", "SLB", "CRC Hash"):
+        row = rows[name]
+        assert abs(row["area_mm2"] - row["paper_area"]) <= 0.05 * max(row["paper_area"], 1e-4)
+        assert abs(row["access_ps"] - row["paper_ps"]) <= 0.05 * row["paper_ps"]
+
+    for name in ("SPT", "STB", "SLB"):
+        assert rows[name]["access_ps"] < 150
+
+    assert rows["CRC Hash"]["access_ps"] > 900  # 3-cycle budget
+    total_area = sum(rows[n]["area_mm2"] for n in rows)
+    assert total_area < 0.05  # negligible silicon

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Section XI-C VAT memory measurement.
+
+Paper shape: per-process VATs are small — kilobytes, not megabytes —
+with a geometric mean of ~7 KB.
+"""
+
+from benchmarks.conftest import BENCH_EVENTS, run_once
+from repro.experiments import vat_footprint
+
+
+def test_vat_footprint_matches_paper_scale(benchmark):
+    result = run_once(benchmark, vat_footprint.run, events=BENCH_EVENTS)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+
+    geomean = rows.pop("geomean")["kilobytes"]
+    # Same order of magnitude as the paper's 6.98 KB.
+    assert 2.0 <= geomean <= 30.0
+
+    for name, row in rows.items():
+        assert row["kilobytes"] < 128, name  # always trivially small
+        assert row["tables"] >= 1

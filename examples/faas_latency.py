@@ -1,0 +1,60 @@
+"""FaaS scenario: security checking vs function latency.
+
+The paper motivates Draco with high-performance containerised services
+(Section VIII: "even short delays can impact online revenue").  This
+example runs the two FaaS-style functions (grep and pwgen) and a
+latency-sensitive server (httpd) under increasingly strict checking,
+printing the latency multiplier each security level costs — and what
+Draco recovers.
+
+Run with::
+
+    python examples/faas_latency.py
+"""
+
+from repro.experiments import get_context
+
+WORKLOADS = ("grep", "pwgen", "httpd")
+
+LEVELS = (
+    ("no checking (insecure)", "insecure"),
+    ("ID whitelist (docker-default)", "docker-default"),
+    ("app IDs (syscall-noargs)", "syscall-noargs"),
+    ("app IDs+args (syscall-complete)", "syscall-complete"),
+    ("2x checks (near-future)", "syscall-complete-2x"),
+)
+
+DRACO = (
+    ("software Draco, full checks", "draco-sw-complete-2x"),
+    ("hardware Draco, full checks", "draco-hw-complete-2x"),
+)
+
+
+def main() -> None:
+    contexts = {name: get_context(name, events=8000) for name in WORKLOADS}
+
+    header = f"{'security level':36s}" + "".join(f"{name:>12s}" for name in WORKLOADS)
+    print(header)
+    print("-" * len(header))
+    for label, regime in LEVELS:
+        cells = "".join(
+            f"{contexts[name].evaluate(regime).normalized_time:12.3f}"
+            for name in WORKLOADS
+        )
+        print(f"{label:36s}{cells}")
+    print("-" * len(header))
+    for label, regime in DRACO:
+        cells = "".join(
+            f"{contexts[name].evaluate(regime).normalized_time:12.3f}"
+            for name in WORKLOADS
+        )
+        print(f"{label:36s}{cells}")
+
+    print("\nReading the table: full argument checking doubled (the paper's")
+    print("near-future scenario) costs up to tens of percent of latency with")
+    print("conventional Seccomp; hardware Draco delivers the same security at")
+    print("~1% — 'both high performance and a high level of security'.")
+
+
+if __name__ == "__main__":
+    main()

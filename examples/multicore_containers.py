@@ -1,0 +1,68 @@
+"""Multicore container host: the paper's deployment target end-to-end.
+
+Builds the Table II 10-core chip, places a fleet of containerised
+tenants (each with its own syscall-complete profile) across the cores,
+and runs them under hardware Draco with shared-L3 interference and
+per-core context switching — then compares consolidation levels.
+
+Run with::
+
+    python examples/multicore_containers.py
+"""
+
+from repro.experiments import get_context
+from repro.kernel.multicore import MultiCoreSystem
+from repro.kernel.scheduler import ScheduledProcess
+
+TENANTS = ("nginx", "redis", "mysql", "httpd", "cassandra", "pwgen")
+EVENTS = 4000
+
+
+def tenant_processes():
+    processes = []
+    for name in TENANTS:
+        ctx = get_context(name, events=EVENTS)
+        processes.append(
+            ScheduledProcess(
+                name=name,
+                profile=ctx.bundle.complete,
+                trace=ctx.trace[:EVENTS],
+                work_cycles_per_syscall=ctx.work_cycles,
+            )
+        )
+    return processes
+
+
+def run_fleet(cores: int):
+    system = MultiCoreSystem(cores=cores, quantum_syscalls=250)
+    for process in tenant_processes():
+        system.assign(process)
+    result = system.run()
+    return system, result
+
+
+def main() -> None:
+    print(f"{len(TENANTS)} tenants, syscall-complete profiles, hardware Draco\n")
+    header = f"{'consolidation':>24s} {'switches':>9s} {'L3 hit':>7s}  " + "".join(
+        f"{name:>11s}" for name in TENANTS
+    )
+    print(header + "   (mean check cycles/syscall)")
+    print("-" * len(header))
+    for cores in (6, 3, 1):
+        system, result = run_fleet(cores)
+        switches = sum(result.per_core_switches)
+        cells = "".join(f"{result.per_process[name]:11.1f}" for name in TENANTS)
+        print(
+            f"{len(TENANTS)} tenants on {cores} core(s)".rjust(24)
+            + f" {switches:9d} {result.l3_hit_rate:7.2%}  {cells}"
+        )
+    print(
+        "\nEven fully consolidated (6 tenants on 1 core), checking costs stay"
+        "\nat tens of cycles per syscall: switches invalidate the SLB/STB but"
+        "\nthe per-process VATs refill them from cache-resident memory — the"
+        "\nSection VII-B design working as intended."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: measure system-call checking overhead under every regime.
+
+Builds the nginx workload model, derives its application-specific
+Seccomp profiles with the strace-style toolkit, and reports execution
+time normalised to an insecure baseline for:
+
+* conventional Seccomp (the paper's Figure 2 configurations),
+* software Draco (Figure 11), and
+* hardware Draco (Figure 12).
+
+Run with::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro.experiments import get_context
+
+REGIMES = (
+    "insecure",
+    "docker-default",
+    "syscall-noargs",
+    "syscall-complete",
+    "syscall-complete-2x",
+    "draco-sw-complete",
+    "draco-sw-complete-2x",
+    "draco-hw-complete",
+    "draco-hw-complete-2x",
+)
+
+
+def main(workload: str = None) -> None:
+    if workload is None:
+        from repro.workloads.catalog import CATALOG
+
+        argv_name = sys.argv[1] if len(sys.argv) > 1 else None
+        workload = argv_name if argv_name in CATALOG else "nginx"
+    print(f"Workload: {workload}")
+    ctx = get_context(workload, events=8000)
+    print(f"  calibrated application work: {ctx.work_cycles:.0f} cycles/syscall")
+    print(f"  profile: {ctx.bundle.complete.num_syscalls} syscalls, "
+          f"{ctx.bundle.complete.num_argument_values_allowed} argument values\n")
+
+    print(f"{'regime':26s} {'normalised time':>16s} {'check cycles':>13s}")
+    print("-" * 58)
+    for regime in REGIMES:
+        result = ctx.evaluate(regime)
+        print(
+            f"{regime:26s} {result.normalized_time:16.4f} "
+            f"{result.mean_check_cycles:13.1f}"
+        )
+    print("\nThe Draco rows show the paper's result: software Draco cuts the")
+    print("argument-checking overhead and stays flat as checks double, while")
+    print("hardware Draco is within ~1% of not checking at all.")
+
+
+if __name__ == "__main__":
+    main()

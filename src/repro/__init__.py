@@ -1,0 +1,67 @@
+"""repro — a faithful reproduction of *Draco: Architectural and Operating
+System Support for System Call Security* (MICRO 2020).
+
+The library builds every system the paper depends on:
+
+* :mod:`repro.syscalls` — the x86-64 syscall ABI;
+* :mod:`repro.bpf` — a classic-BPF assembler/verifier/interpreter;
+* :mod:`repro.seccomp` — profiles, filter compilers, the kernel engine,
+  canned real-world profiles, and the strace-style profile toolkit;
+* :mod:`repro.hashing` — CRC-64 (ECMA / not-ECMA) and 2-ary cuckoo tables;
+* :mod:`repro.cpu` — caches, memory hierarchy, Table II parameters;
+* :mod:`repro.core` — Draco itself: SPT, VAT, SLB, STB, Temporary
+  Buffer, the software checker and the hardware pipeline;
+* :mod:`repro.kernel` — checking regimes, processes, the simulator;
+* :mod:`repro.workloads` — the fifteen paper workloads as locality-
+  calibrated models;
+* :mod:`repro.analysis` — locality, security, and hardware-cost analyses;
+* :mod:`repro.experiments` — a regenerator for every table and figure.
+
+Quick start::
+
+    from repro.experiments import get_context
+    ctx = get_context("nginx")
+    print(ctx.evaluate("syscall-complete").normalized_time)   # Seccomp
+    print(ctx.evaluate("draco-hw-complete").normalized_time)  # hardware Draco
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import HardwareDraco, SoftwareDraco, build_process_tables
+from repro.kernel import (
+    DracoHwRegime,
+    DracoSwRegime,
+    InsecureRegime,
+    Process,
+    SeccompRegime,
+    run_trace,
+)
+from repro.seccomp import (
+    SeccompProfile,
+    build_docker_default,
+    generate_bundle,
+)
+from repro.syscalls import LINUX_X86_64, SyscallEvent, SyscallTrace, make_event
+from repro.workloads import CATALOG, generate_trace
+
+__all__ = [
+    "__version__",
+    "HardwareDraco",
+    "SoftwareDraco",
+    "build_process_tables",
+    "DracoHwRegime",
+    "DracoSwRegime",
+    "InsecureRegime",
+    "Process",
+    "SeccompRegime",
+    "run_trace",
+    "SeccompProfile",
+    "build_docker_default",
+    "generate_bundle",
+    "LINUX_X86_64",
+    "SyscallEvent",
+    "SyscallTrace",
+    "make_event",
+    "CATALOG",
+    "generate_trace",
+]

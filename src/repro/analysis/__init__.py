@@ -1,0 +1,49 @@
+"""Analysis layer: locality, profile security, hardware cost models."""
+
+from repro.analysis.hwcost import (
+    CRC_COST,
+    PAPER_TABLE3,
+    SramGeometry,
+    StructureCost,
+    draco_hardware_costs,
+    slb_geometry,
+    spt_geometry,
+    sram_cost,
+    stb_geometry,
+)
+from repro.analysis.locality import (
+    LocalityReport,
+    SyscallLocality,
+    analyze_locality,
+    merge_reports,
+    reuse_distances,
+)
+from repro.analysis.security import (
+    CONTAINER_RUNTIME_SYSCALLS,
+    ProfileSecurityMetrics,
+    analyze_profile,
+    argument_slots_checked,
+    argument_values_allowed,
+)
+
+__all__ = [
+    "CRC_COST",
+    "PAPER_TABLE3",
+    "SramGeometry",
+    "StructureCost",
+    "draco_hardware_costs",
+    "slb_geometry",
+    "spt_geometry",
+    "sram_cost",
+    "stb_geometry",
+    "LocalityReport",
+    "SyscallLocality",
+    "analyze_locality",
+    "merge_reports",
+    "reuse_distances",
+    "CONTAINER_RUNTIME_SYSCALLS",
+    "ProfileSecurityMetrics",
+    "analyze_profile",
+    "argument_slots_checked",
+    "argument_values_allowed",
+]

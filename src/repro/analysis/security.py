@@ -1,0 +1,79 @@
+"""Profile security metrics (Section XI-D, Figure 15).
+
+Quantifies the attack-surface reduction of application-specific profiles
+versus ``docker-default``: how many syscalls are allowed, how many
+argument positions are checked, and how many distinct argument values
+are whitelisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+#: Syscalls any containerised process needs regardless of the
+#: application: process/memory setup, dynamic linking, runtime plumbing.
+#: Figure 15a shades the fraction of an app-specific profile that is
+#: runtime-required (~20%) versus truly application-specific.
+CONTAINER_RUNTIME_SYSCALLS: FrozenSet[str] = frozenset(
+    {
+        "read", "write", "close", "fstat", "mmap", "mprotect", "munmap",
+        "brk", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "access",
+        "execve", "exit", "exit_group", "arch_prctl", "set_tid_address",
+        "set_robust_list", "prlimit64", "openat", "getrandom", "futex",
+        "clone", "wait4", "getpid", "gettid",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ProfileSecurityMetrics:
+    """One bar group of Figure 15."""
+
+    profile_name: str
+    num_syscalls: int
+    num_runtime_syscalls: int
+    num_argument_slots_checked: int
+    num_argument_values_allowed: int
+
+    @property
+    def num_application_syscalls(self) -> int:
+        return self.num_syscalls - self.num_runtime_syscalls
+
+
+def argument_slots_checked(profile: SeccompProfile) -> int:
+    """Distinct (syscall, argument position) pairs with a check
+    (Figure 15b, "# Arguments Checked")."""
+    slots = {
+        (rule.sid, cmp_.arg_index)
+        for rule in profile.rules
+        for arg_rule in rule.arg_rules
+        for cmp_ in arg_rule.comparisons
+    }
+    return len(slots)
+
+
+def argument_values_allowed(profile: SeccompProfile) -> int:
+    """Distinct (syscall, argument, value) whitelist entries
+    (Figure 15b, "# Argument Values Allowed")."""
+    return profile.num_argument_values_allowed
+
+
+def analyze_profile(
+    profile: SeccompProfile, table: SyscallTable = LINUX_X86_64
+) -> ProfileSecurityMetrics:
+    runtime = sum(
+        1
+        for sid in profile.allowed_sids
+        if table.by_sid(sid).name in CONTAINER_RUNTIME_SYSCALLS
+    )
+    return ProfileSecurityMetrics(
+        profile_name=profile.name,
+        num_syscalls=profile.num_syscalls,
+        num_runtime_syscalls=runtime,
+        num_argument_slots_checked=argument_slots_checked(profile),
+        num_argument_values_allowed=argument_values_allowed(profile),
+    )

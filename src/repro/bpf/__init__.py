@@ -1,0 +1,33 @@
+"""Classic BPF substrate: instructions, assembler, verifier, interpreter."""
+
+from repro.bpf.assembler import ProgramBuilder
+from repro.bpf.insn import BPF_MAXINSNS, BPF_MEMWORDS, Insn, jump, stmt
+from repro.bpf.interpreter import ExecResult, run, run_many
+from repro.bpf.optimizer import eliminate_dead_code, optimize, thread_jumps
+from repro.bpf.seccomp_data import (
+    SECCOMP_DATA_SIZE,
+    SeccompData,
+    args_off,
+    args_off_high,
+)
+from repro.bpf.verifier import verify
+
+__all__ = [
+    "ProgramBuilder",
+    "BPF_MAXINSNS",
+    "BPF_MEMWORDS",
+    "Insn",
+    "jump",
+    "stmt",
+    "ExecResult",
+    "run",
+    "run_many",
+    "eliminate_dead_code",
+    "optimize",
+    "thread_jumps",
+    "SECCOMP_DATA_SIZE",
+    "SeccompData",
+    "args_off",
+    "args_off_high",
+    "verify",
+]

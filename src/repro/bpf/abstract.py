@@ -1,0 +1,227 @@
+"""Abstract interpretation of cBPF filters with unknown arguments.
+
+Linux 5.11's seccomp *action cache* — the upstream feature this paper
+inspired — needs to know, per syscall number, whether a filter's result
+depends on the argument values.  The kernel answers that by emulating
+the filter with the ``nr`` and ``arch`` fields pinned and every
+argument load producing "unknown" (``seccomp_cache_prepare``).
+
+This module implements that emulation: a small abstract interpreter
+over the domain ``Known(value) | Unknown``.  Branches on Unknown fork
+both paths; the filter is *argument-independent for nr* iff every
+reachable path returns the same action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.bpf.insn import (
+    BPF_ABS,
+    BPF_ALU,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_LD,
+    BPF_LDX,
+    BPF_MEM,
+    BPF_MEMWORDS,
+    BPF_MISC,
+    BPF_RET,
+    BPF_ST,
+    BPF_STX,
+    BPF_TAX,
+    U32_MASK,
+    Insn,
+    bpf_class,
+    bpf_mode,
+    bpf_op,
+    bpf_rval,
+    bpf_src,
+)
+from repro.bpf.seccomp_data import ARCH_OFFSET, NR_OFFSET
+from repro.common.errors import BpfError
+from repro.syscalls.abi import AUDIT_ARCH_X86_64
+
+#: The abstract "unknown 32-bit word" value.
+UNKNOWN = None
+
+AbstractValue = Optional[int]  # int -> known constant; None -> unknown
+
+#: Safety bound on explored abstract states (forking is exponential in
+#: the worst case; seccomp filters are small and fork rarely).
+MAX_STATES = 100_000
+
+
+class AbstractionLimitExceeded(BpfError):
+    """The filter forked more states than the analysis budget allows."""
+
+
+@dataclass(frozen=True)
+class _State:
+    pc: int
+    acc: AbstractValue
+    idx: AbstractValue
+    mem: Tuple[AbstractValue, ...]
+
+
+def _alu_abstract(op_code: int, acc: AbstractValue, operand: AbstractValue) -> AbstractValue:
+    from repro.bpf.insn import (
+        BPF_ADD, BPF_AND, BPF_DIV, BPF_LSH, BPF_MOD, BPF_MUL, BPF_NEG,
+        BPF_OR, BPF_RSH, BPF_SUB, BPF_XOR,
+    )
+
+    op = op_code & 0xF0
+    if op == BPF_NEG:
+        return (-acc) & U32_MASK if acc is not None else UNKNOWN
+    if acc is None or operand is None:
+        # Two special absorbing cases keep precision where the kernel
+        # needs it: x & 0 == 0 and x * 0 == 0.
+        if op == BPF_AND and (acc == 0 or operand == 0):
+            return 0
+        if op == BPF_MUL and (acc == 0 or operand == 0):
+            return 0
+        return UNKNOWN
+    if op == BPF_ADD:
+        return (acc + operand) & U32_MASK
+    if op == BPF_SUB:
+        return (acc - operand) & U32_MASK
+    if op == BPF_MUL:
+        return (acc * operand) & U32_MASK
+    if op == BPF_DIV:
+        return (acc // operand) & U32_MASK if operand else UNKNOWN
+    if op == BPF_MOD:
+        return (acc % operand) & U32_MASK if operand else UNKNOWN
+    if op == BPF_AND:
+        return acc & operand
+    if op == BPF_OR:
+        return (acc | operand) & U32_MASK
+    if op == BPF_XOR:
+        return (acc ^ operand) & U32_MASK
+    if op == BPF_LSH:
+        return (acc << operand) & U32_MASK if operand < 32 else 0
+    if op == BPF_RSH:
+        return acc >> operand if operand < 32 else 0
+    raise BpfError(f"unknown ALU op {op:#x}")
+
+
+def possible_returns(
+    program: Sequence[Insn],
+    nr: int,
+    arch: int = AUDIT_ARCH_X86_64,
+    max_states: int = MAX_STATES,
+) -> FrozenSet[int]:
+    """All return values the filter can produce for syscall *nr* over
+    any argument values (and any instruction pointer)."""
+    initial = _State(pc=0, acc=0, idx=0, mem=(0,) * BPF_MEMWORDS)
+    stack: List[_State] = [initial]
+    seen: Set[_State] = set()
+    results: Set[int] = set()
+    explored = 0
+
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        explored += 1
+        if explored > max_states:
+            raise AbstractionLimitExceeded(
+                f"exceeded {max_states} abstract states for nr={nr}"
+            )
+        insn = program[state.pc]
+        cls = bpf_class(insn.code)
+
+        if cls == BPF_RET:
+            if bpf_rval(insn.code) & 0x18 == 0x10:  # BPF_A
+                if state.acc is None:
+                    # Data-dependent return value: approximate with a
+                    # sentinel that never equals a real action.
+                    results.add(-1)
+                else:
+                    results.add(state.acc)
+            else:
+                results.add(insn.k & U32_MASK)
+            continue
+
+        acc, idx, mem = state.acc, state.idx, list(state.mem)
+        next_pcs: List[int] = [state.pc + 1]
+
+        if cls == BPF_LD:
+            mode = bpf_mode(insn.code)
+            if mode == BPF_ABS:
+                if insn.k == NR_OFFSET:
+                    acc = nr & U32_MASK
+                elif insn.k == ARCH_OFFSET:
+                    acc = arch & U32_MASK
+                else:
+                    acc = UNKNOWN  # argument or instruction-pointer word
+            elif mode == BPF_IMM:
+                acc = insn.k & U32_MASK
+            elif mode == BPF_MEM:
+                acc = mem[insn.k]
+        elif cls == BPF_LDX:
+            mode = bpf_mode(insn.code)
+            if mode == BPF_IMM:
+                idx = insn.k & U32_MASK
+            elif mode == BPF_MEM:
+                idx = mem[insn.k]
+            else:
+                idx = UNKNOWN
+        elif cls == BPF_ST:
+            mem[insn.k] = acc
+        elif cls == BPF_STX:
+            mem[insn.k] = idx
+        elif cls == BPF_ALU:
+            operand = idx if bpf_src(insn.code) else insn.k & U32_MASK
+            acc = _alu_abstract(insn.code, acc, operand)
+        elif cls == BPF_MISC:
+            if bpf_op(insn.code) == BPF_TAX:
+                idx = acc
+            else:
+                acc = idx
+        elif cls == BPF_JMP:
+            op = bpf_op(insn.code)
+            if op == BPF_JA:
+                next_pcs = [state.pc + 1 + insn.k]
+            else:
+                operand = idx if bpf_src(insn.code) else insn.k & U32_MASK
+                if acc is None or operand is None:
+                    taken: Optional[bool] = None
+                elif op == BPF_JEQ:
+                    taken = acc == operand
+                elif op == BPF_JGT:
+                    taken = acc > operand
+                elif op == BPF_JGE:
+                    taken = acc >= operand
+                elif op == BPF_JSET:
+                    taken = bool(acc & operand)
+                else:
+                    raise BpfError("unknown jump op")
+                if taken is None:
+                    next_pcs = [state.pc + 1 + insn.jt, state.pc + 1 + insn.jf]
+                elif taken:
+                    next_pcs = [state.pc + 1 + insn.jt]
+                else:
+                    next_pcs = [state.pc + 1 + insn.jf]
+
+        for pc in next_pcs:
+            stack.append(_State(pc=pc, acc=acc, idx=idx, mem=tuple(mem)))
+    return frozenset(results)
+
+
+def constant_action_for(
+    program: Sequence[Insn], nr: int, arch: int = AUDIT_ARCH_X86_64
+) -> Optional[int]:
+    """The single return value the filter produces for *nr* regardless
+    of arguments — or None if the result is argument-dependent."""
+    returns = possible_returns(program, nr, arch)
+    if len(returns) == 1:
+        (value,) = returns
+        return value if value >= 0 else None
+    return None

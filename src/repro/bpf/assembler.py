@@ -1,0 +1,144 @@
+"""A label-based assembler for classic BPF programs.
+
+cBPF conditional jumps carry 8-bit forward offsets, which makes hand
+construction of large filters (hundreds of rules) error-prone.  The
+:class:`ProgramBuilder` lets the Seccomp compilers emit symbolic labels
+and resolves them to offsets at ``assemble()`` time, raising if a jump
+would not fit — mirroring how libseccomp lays out its filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bpf.insn import (
+    BPF_A,
+    BPF_ABS,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_K,
+    BPF_LD,
+    BPF_MISC,
+    BPF_RET,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_W,
+    BPF_X,
+    Insn,
+)
+from repro.common.errors import BpfVerifyError
+
+#: A jump target: either a concrete relative offset or a label name.
+Target = Union[int, str]
+
+
+@dataclass
+class _PendingInsn:
+    code: int
+    k: int
+    jt: Target
+    jf: Target
+
+
+class ProgramBuilder:
+    """Accumulates instructions and resolves labels into jump offsets."""
+
+    def __init__(self) -> None:
+        self._pending: List[_PendingInsn] = []
+        self._labels: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # -- emission -------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Bind *name* to the next instruction position."""
+        if name in self._labels:
+            raise BpfVerifyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._pending)
+
+    def ld_abs(self, offset: int) -> None:
+        """Load a 32-bit word of seccomp_data into A."""
+        self._pending.append(_PendingInsn(BPF_LD | BPF_W | BPF_ABS, offset, 0, 0))
+
+    def ld_imm(self, value: int) -> None:
+        self._pending.append(_PendingInsn(BPF_LD | BPF_W, value, 0, 0))
+
+    def and_k(self, mask: int) -> None:
+        """A := A & mask (BPF_ALU|BPF_AND|BPF_K)."""
+        from repro.bpf.insn import BPF_ALU, BPF_AND
+
+        self._pending.append(_PendingInsn(BPF_ALU | BPF_AND | BPF_K, mask, 0, 0))
+
+    def tax(self) -> None:
+        self._pending.append(_PendingInsn(BPF_MISC | BPF_TAX, 0, 0, 0))
+
+    def txa(self) -> None:
+        self._pending.append(_PendingInsn(BPF_MISC | BPF_TXA, 0, 0, 0))
+
+    def jmp(self, target: Target) -> None:
+        """Unconditional jump (BPF_JA); target may be a label or offset."""
+        self._pending.append(_PendingInsn(BPF_JMP | BPF_JA, 0, target, target))
+
+    def jeq(self, k: int, jt: Target = 0, jf: Target = 0) -> None:
+        self._cond(BPF_JEQ | BPF_K, k, jt, jf)
+
+    def jeq_x(self, jt: Target = 0, jf: Target = 0) -> None:
+        self._cond(BPF_JEQ | BPF_X, 0, jt, jf)
+
+    def jgt(self, k: int, jt: Target = 0, jf: Target = 0) -> None:
+        self._cond(BPF_JGT | BPF_K, k, jt, jf)
+
+    def jge(self, k: int, jt: Target = 0, jf: Target = 0) -> None:
+        self._cond(BPF_JGE | BPF_K, k, jt, jf)
+
+    def jset(self, k: int, jt: Target = 0, jf: Target = 0) -> None:
+        self._cond(BPF_JSET | BPF_K, k, jt, jf)
+
+    def ret_k(self, value: int) -> None:
+        self._pending.append(_PendingInsn(BPF_RET | BPF_K, value, 0, 0))
+
+    def ret_a(self) -> None:
+        self._pending.append(_PendingInsn(BPF_RET | BPF_A, 0, 0, 0))
+
+    def _cond(self, op_src: int, k: int, jt: Target, jf: Target) -> None:
+        self._pending.append(_PendingInsn(BPF_JMP | op_src, k, jt, jf))
+
+    # -- assembly -------------------------------------------------------
+
+    def assemble(self) -> Tuple[Insn, ...]:
+        """Resolve labels to relative offsets and freeze the program."""
+        insns: List[Insn] = []
+        for index, pending in enumerate(self._pending):
+            if pending.code == BPF_JMP | BPF_JA:
+                offset = self._resolve(index, pending.jt, limit=0xFFFFFFFF)
+                insns.append(Insn(code=pending.code, k=offset))
+            elif (pending.code & 0x07) == BPF_JMP:
+                jt = self._resolve(index, pending.jt, limit=0xFF)
+                jf = self._resolve(index, pending.jf, limit=0xFF)
+                insns.append(Insn(code=pending.code, jt=jt, jf=jf, k=pending.k))
+            else:
+                insns.append(Insn(code=pending.code, k=pending.k))
+        return tuple(insns)
+
+    def _resolve(self, index: int, target: Target, limit: int) -> int:
+        if isinstance(target, int):
+            offset = target
+        else:
+            position: Optional[int] = self._labels.get(target)
+            if position is None:
+                raise BpfVerifyError(f"undefined label {target!r}")
+            offset = position - (index + 1)
+        if offset < 0:
+            raise BpfVerifyError(f"backward jump at instruction {index}")
+        if offset > limit:
+            raise BpfVerifyError(
+                f"jump offset {offset} exceeds {limit} at instruction {index}"
+            )
+        return offset

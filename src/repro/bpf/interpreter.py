@@ -1,0 +1,180 @@
+"""Classic BPF interpreter over ``seccomp_data``.
+
+Executes verified filter programs exactly as the kernel's cBPF VM does
+and — crucially for the reproduction — *counts executed instructions*.
+The paper attributes Seccomp's cost to "the many if statements of a
+Seccomp profile" executed per syscall (Section V); the instruction count
+produced here is what the cost models convert into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.bpf.insn import (
+    BPF_A,
+    BPF_ABS,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_DIV,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MEMWORDS,
+    BPF_MISC,
+    BPF_MOD,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_RET,
+    BPF_RSH,
+    BPF_ST,
+    BPF_STX,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_XOR,
+    Insn,
+    U32_MASK,
+    bpf_class,
+    bpf_mode,
+    bpf_op,
+    bpf_rval,
+    bpf_src,
+)
+from repro.bpf.seccomp_data import SeccompData
+from repro.common.errors import BpfRuntimeError
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of one filter execution."""
+
+    return_value: int
+    instructions_executed: int
+
+
+def run(program: Sequence[Insn], data: SeccompData) -> ExecResult:
+    """Execute *program* against *data*; the program must be verified."""
+    acc = 0  # A register
+    idx = 0  # X register
+    mem = [0] * BPF_MEMWORDS
+    pc = 0
+    executed = 0
+    n = len(program)
+
+    while pc < n:
+        insn = program[pc]
+        executed += 1
+        cls = bpf_class(insn.code)
+
+        if cls == BPF_RET:
+            value = acc if bpf_rval(insn.code) == BPF_A else insn.k
+            return ExecResult(return_value=value & U32_MASK, instructions_executed=executed)
+
+        if cls == BPF_LD:
+            mode = bpf_mode(insn.code)
+            if mode == BPF_ABS:
+                acc = data.load_u32(insn.k)
+            elif mode == BPF_IMM:
+                acc = insn.k & U32_MASK
+            elif mode == BPF_MEM:
+                acc = mem[insn.k]
+            else:
+                raise BpfRuntimeError(f"unsupported load mode at pc={pc}")
+        elif cls == BPF_LDX:
+            mode = bpf_mode(insn.code)
+            if mode == BPF_IMM:
+                idx = insn.k & U32_MASK
+            elif mode == BPF_MEM:
+                idx = mem[insn.k]
+            else:
+                raise BpfRuntimeError(f"unsupported ldx mode at pc={pc}")
+        elif cls == BPF_ST:
+            mem[insn.k] = acc
+        elif cls == BPF_STX:
+            mem[insn.k] = idx
+        elif cls == BPF_ALU:
+            acc = _alu(insn, acc, idx, pc)
+        elif cls == BPF_JMP:
+            pc += _jump_displacement(insn, acc, idx)
+        elif cls == BPF_MISC:
+            if bpf_op(insn.code) == BPF_TAX:
+                idx = acc
+            else:
+                acc = idx
+        else:  # pragma: no cover - verifier rejects these
+            raise BpfRuntimeError(f"unknown class at pc={pc}")
+        pc += 1
+
+    raise BpfRuntimeError("fell off the end of the program")
+
+
+def _alu(insn: Insn, acc: int, idx: int, pc: int) -> int:
+    op = bpf_op(insn.code)
+    operand = idx if bpf_src(insn.code) else insn.k
+    if op == BPF_ADD:
+        return (acc + operand) & U32_MASK
+    if op == BPF_SUB:
+        return (acc - operand) & U32_MASK
+    if op == BPF_MUL:
+        return (acc * operand) & U32_MASK
+    if op == BPF_DIV:
+        if operand == 0:
+            raise BpfRuntimeError(f"division by zero at pc={pc}")
+        return (acc // operand) & U32_MASK
+    if op == BPF_MOD:
+        if operand == 0:
+            raise BpfRuntimeError(f"modulo by zero at pc={pc}")
+        return (acc % operand) & U32_MASK
+    if op == BPF_AND:
+        return acc & operand
+    if op == BPF_OR:
+        return (acc | operand) & U32_MASK
+    if op == BPF_XOR:
+        return (acc ^ operand) & U32_MASK
+    if op == BPF_LSH:
+        if operand >= 32:
+            return 0
+        return (acc << operand) & U32_MASK
+    if op == BPF_RSH:
+        if operand >= 32:
+            return 0
+        return acc >> operand
+    if op == BPF_NEG:
+        return (-acc) & U32_MASK
+    raise BpfRuntimeError(f"unknown ALU op at pc={pc}")
+
+
+def _jump_displacement(insn: Insn, acc: int, idx: int) -> int:
+    op = bpf_op(insn.code)
+    if op == BPF_JA:
+        return insn.k
+    operand = idx if bpf_src(insn.code) else insn.k
+    if op == BPF_JEQ:
+        taken = acc == operand
+    elif op == BPF_JGT:
+        taken = acc > operand
+    elif op == BPF_JGE:
+        taken = acc >= operand
+    elif op == BPF_JSET:
+        taken = bool(acc & operand)
+    else:  # pragma: no cover - verifier rejects these
+        raise BpfRuntimeError("unknown jump op")
+    return insn.jt if taken else insn.jf
+
+
+def run_many(
+    program: Sequence[Insn], records: Sequence[SeccompData]
+) -> Tuple[ExecResult, ...]:
+    """Execute the filter over a batch of records."""
+    return tuple(run(program, data) for data in records)

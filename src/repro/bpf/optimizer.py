@@ -1,0 +1,143 @@
+"""Peephole optimisation for classic BPF filters.
+
+Large generated whitelists contain long chains of unconditional jumps
+(dispatch trampolines) and duplicated returns.  Real libseccomp applies
+similar cleanups before attaching.  Two passes are implemented, both
+decision-preserving (verified by property tests):
+
+* **jump threading** — a jump whose target is another unconditional
+  jump is retargeted to the final destination; a jump whose target is a
+  ``ret`` is replaced by that return when unconditional;
+* **dead-code elimination** — instructions unreachable from the entry
+  point are removed (and all jump offsets recomputed).
+
+Both passes respect the 8-bit conditional-offset limit: a threading
+opportunity that would overflow ``jt``/``jf`` is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.bpf.insn import (
+    BPF_JA,
+    BPF_JMP,
+    BPF_RET,
+    Insn,
+    bpf_class,
+    bpf_op,
+)
+from repro.bpf.verifier import verify
+
+
+def _final_target(program: Sequence[Insn], target: int, limit: int = 64) -> int:
+    """Follow chains of unconditional jumps to their final destination."""
+    seen = 0
+    while (
+        seen < limit
+        and target < len(program)
+        and bpf_class(program[target].code) == BPF_JMP
+        and bpf_op(program[target].code) == BPF_JA
+    ):
+        target = target + 1 + program[target].k
+        seen += 1
+    return target
+
+
+def thread_jumps(program: Sequence[Insn]) -> Tuple[Insn, ...]:
+    """Retarget jumps through JA chains; inline returns behind JAs."""
+    program = list(program)
+    out: List[Insn] = []
+    n = len(program)
+    for pc, insn in enumerate(program):
+        if bpf_class(insn.code) != BPF_JMP:
+            out.append(insn)
+            continue
+        if bpf_op(insn.code) == BPF_JA:
+            target = _final_target(program, pc + 1 + insn.k)
+            if target < n and bpf_class(program[target].code) == BPF_RET:
+                # An unconditional jump to a return IS that return.
+                out.append(program[target])
+                continue
+            out.append(Insn(code=insn.code, k=target - (pc + 1)))
+            continue
+        # Conditional: thread each side if the new offset still fits.
+        jt_target = _final_target(program, pc + 1 + insn.jt)
+        jf_target = _final_target(program, pc + 1 + insn.jf)
+        jt = jt_target - (pc + 1) if 0 <= jt_target - (pc + 1) <= 0xFF else insn.jt
+        jf = jf_target - (pc + 1) if 0 <= jf_target - (pc + 1) <= 0xFF else insn.jf
+        out.append(Insn(code=insn.code, jt=jt, jf=jf, k=insn.k))
+    return tuple(out)
+
+
+def _reachable(program: Sequence[Insn]) -> Set[int]:
+    """Instruction indices reachable from the entry point."""
+    n = len(program)
+    reachable: Set[int] = set()
+    stack = [0] if n else []
+    while stack:
+        pc = stack.pop()
+        if pc in reachable or pc >= n:
+            continue
+        reachable.add(pc)
+        insn = program[pc]
+        cls = bpf_class(insn.code)
+        if cls == BPF_RET:
+            continue
+        if cls == BPF_JMP:
+            if bpf_op(insn.code) == BPF_JA:
+                stack.append(pc + 1 + insn.k)
+            else:
+                stack.append(pc + 1 + insn.jt)
+                stack.append(pc + 1 + insn.jf)
+            continue
+        stack.append(pc + 1)
+    return reachable
+
+
+def eliminate_dead_code(program: Sequence[Insn]) -> Tuple[Insn, ...]:
+    """Drop unreachable instructions, rewriting every jump offset.
+
+    If removal would push any conditional offset beyond 8 bits (it
+    cannot: removals only shrink distances), the original program is
+    returned unchanged.
+    """
+    n = len(program)
+    reachable = _reachable(program)
+    if len(reachable) == n:
+        return tuple(program)
+    # Map old indices to new, counting only surviving instructions.
+    new_index: Dict[int, int] = {}
+    count = 0
+    for pc in range(n):
+        if pc in reachable:
+            new_index[pc] = count
+            count += 1
+    out: List[Insn] = []
+    for pc in range(n):
+        if pc not in reachable:
+            continue
+        insn = program[pc]
+        if bpf_class(insn.code) == BPF_JMP:
+            if bpf_op(insn.code) == BPF_JA:
+                target = new_index[pc + 1 + insn.k]
+                insn = Insn(code=insn.code, k=target - (new_index[pc] + 1))
+            else:
+                jt = new_index[pc + 1 + insn.jt] - (new_index[pc] + 1)
+                jf = new_index[pc + 1 + insn.jf] - (new_index[pc] + 1)
+                insn = Insn(code=insn.code, jt=jt, jf=jf, k=insn.k)
+        out.append(insn)
+    return tuple(out)
+
+
+def optimize(program: Sequence[Insn], max_passes: int = 4) -> Tuple[Insn, ...]:
+    """Iterate threading + dead-code elimination to a fixed point."""
+    current = tuple(program)
+    for _ in range(max_passes):
+        threaded = thread_jumps(current)
+        cleaned = eliminate_dead_code(threaded)
+        if cleaned == current:
+            break
+        current = cleaned
+    verify(current)
+    return current

@@ -1,0 +1,79 @@
+"""The ``struct seccomp_data`` buffer that seccomp filters read.
+
+Layout (identical to ``<linux/seccomp.h>``, little-endian)::
+
+    offset 0   u32 nr                    system call number
+    offset 4   u32 arch                  AUDIT_ARCH_* token
+    offset 8   u64 instruction_pointer
+    offset 16  u64 args[6]
+
+Classic BPF can only load 32-bit words, so each 64-bit argument is read
+as a low word at ``args_off(i)`` and a high word at ``args_off(i) + 4``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.syscalls.abi import AUDIT_ARCH_X86_64
+from repro.syscalls.events import SyscallEvent
+
+SECCOMP_DATA_SIZE = 64
+
+NR_OFFSET = 0
+ARCH_OFFSET = 4
+IP_OFFSET = 8
+ARGS_OFFSET = 16
+
+
+def args_off(index: int) -> int:
+    """Byte offset of the low 32-bit word of argument *index*."""
+    if not 0 <= index < 6:
+        raise ValueError("argument index must be within [0, 6)")
+    return ARGS_OFFSET + 8 * index
+
+
+def args_off_high(index: int) -> int:
+    """Byte offset of the high 32-bit word of argument *index*."""
+    return args_off(index) + 4
+
+
+@dataclass(frozen=True)
+class SeccompData:
+    """A filled-in seccomp_data record for one syscall invocation."""
+
+    nr: int
+    arch: int = AUDIT_ARCH_X86_64
+    instruction_pointer: int = 0
+    args: Tuple[int, ...] = (0, 0, 0, 0, 0, 0)
+
+    def __post_init__(self) -> None:
+        padded = tuple(int(a) & 0xFFFFFFFFFFFFFFFF for a in self.args)
+        if len(padded) > 6:
+            raise ValueError("at most 6 arguments")
+        padded = padded + (0,) * (6 - len(padded))
+        object.__setattr__(self, "args", padded)
+
+    @classmethod
+    def from_event(cls, event: SyscallEvent) -> "SeccompData":
+        return cls(nr=event.sid, instruction_pointer=event.pc, args=event.args)
+
+    def pack(self) -> bytes:
+        """Serialise to the exact 64-byte kernel layout."""
+        return struct.pack(
+            "<IIQ6Q",
+            self.nr & 0xFFFFFFFF,
+            self.arch & 0xFFFFFFFF,
+            self.instruction_pointer & 0xFFFFFFFFFFFFFFFF,
+            *self.args,
+        )
+
+    def load_u32(self, offset: int) -> int:
+        """A BPF_LD|BPF_W|BPF_ABS access; must be 4-byte aligned, in range."""
+        if offset % 4 != 0:
+            raise ValueError(f"unaligned seccomp_data load at {offset}")
+        if not 0 <= offset <= SECCOMP_DATA_SIZE - 4:
+            raise ValueError(f"seccomp_data load out of range: {offset}")
+        return struct.unpack_from("<I", self.pack(), offset)[0]

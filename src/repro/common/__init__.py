@@ -1,0 +1,38 @@
+"""Shared utilities: errors, deterministic RNG, statistics helpers."""
+
+from repro.common.errors import (
+    BpfError,
+    BpfRuntimeError,
+    BpfVerifyError,
+    ConfigError,
+    CuckooInsertError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    UnknownSyscallError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng, weighted_choice, zipf_weights
+from repro.common.stats import geomean, histogram, mean, normalise, percentile, ratio
+
+__all__ = [
+    "BpfError",
+    "BpfRuntimeError",
+    "BpfVerifyError",
+    "ConfigError",
+    "CuckooInsertError",
+    "ProfileError",
+    "ReproError",
+    "SimulationError",
+    "UnknownSyscallError",
+    "DEFAULT_SEED",
+    "derive_seed",
+    "make_rng",
+    "weighted_choice",
+    "zipf_weights",
+    "geomean",
+    "histogram",
+    "mean",
+    "normalise",
+    "percentile",
+    "ratio",
+]

@@ -1,0 +1,56 @@
+"""Deterministic random-number helpers.
+
+All stochastic components of the simulator (trace generation, workload
+sampling) draw from RNGs created here so experiments are reproducible
+run-to-run and component-to-component: each consumer derives a child RNG
+from a root seed plus a stable string label.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_SEED = 0xD12AC0  # "DRACO"
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a stable 64-bit child seed from a root seed and a label."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def make_rng(root_seed: int = DEFAULT_SEED, label: str = "") -> random.Random:
+    """Create a deterministic RNG namespaced by *label*."""
+    return random.Random(derive_seed(root_seed, label))
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item according to *weights* (need not be normalised)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return rng.choices(list(items), weights=list(weights), k=1)[0]
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> list[float]:
+    """Zipfian weights for ranks 1..n — models syscall popularity skew."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+def round_robin_interleave(streams: Sequence[Sequence[T]]) -> Iterator[T]:
+    """Interleave several event streams deterministically (round-robin)."""
+    cursors = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        for i, stream in enumerate(streams):
+            if cursors[i] < len(stream):
+                yield stream[cursors[i]]
+                cursors[i] += 1
+                remaining -= 1

@@ -1,0 +1,67 @@
+"""Small statistics helpers used by the analysis and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; all values must be positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (pct in [0, 100])."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be within [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def histogram(values: Iterable[object]) -> Dict[object, int]:
+    """Count occurrences of each distinct value."""
+    counts: Dict[object, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def normalise(counts: Dict[object, int]) -> Dict[object, float]:
+    """Convert a histogram into a probability distribution."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("cannot normalise an empty histogram")
+    return {key: count / total for key, count in counts.items()}
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio that treats 0/0 as 0.0 and raises on x/0 for x != 0."""
+    if denominator == 0:
+        if numerator == 0:
+            return 0.0
+        raise ZeroDivisionError("non-zero numerator over zero denominator")
+    return numerator / denominator

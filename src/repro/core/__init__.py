@@ -1,0 +1,54 @@
+"""Draco core: SPT, VAT, SLB, STB, software and hardware checkers."""
+
+from repro.core.flows import Flow, classify
+from repro.core.hardware import (
+    HardwareDraco,
+    HardwareDracoStats,
+    HwCheckResult,
+    hash_id_for,
+)
+from repro.core.slb import Slb, SlbEntry, SlbSubtable
+from repro.core.smt import SmtDraco, partition_hw_params
+from repro.core.software import (
+    CheckOutcome,
+    ProcessTables,
+    SoftwareDraco,
+    SoftwareDracoStats,
+    bitmask_for_arg_indices,
+    build_process_tables,
+)
+from repro.core.spt import HardwareSPT, SoftwareSPT, SptEntry
+from repro.core.stb import Stb, StbEntry
+from repro.core.temp_buffer import TemporaryBuffer, TempEntry
+from repro.core.vat import VAT, VAT_ENTRY_BYTES, VatProbe, VatTable
+
+__all__ = [
+    "Flow",
+    "classify",
+    "HardwareDraco",
+    "HardwareDracoStats",
+    "HwCheckResult",
+    "hash_id_for",
+    "Slb",
+    "SlbEntry",
+    "SlbSubtable",
+    "SmtDraco",
+    "partition_hw_params",
+    "CheckOutcome",
+    "ProcessTables",
+    "SoftwareDraco",
+    "SoftwareDracoStats",
+    "bitmask_for_arg_indices",
+    "build_process_tables",
+    "HardwareSPT",
+    "SoftwareSPT",
+    "SptEntry",
+    "Stb",
+    "StbEntry",
+    "TemporaryBuffer",
+    "TempEntry",
+    "VAT",
+    "VAT_ENTRY_BYTES",
+    "VatProbe",
+    "VatTable",
+]

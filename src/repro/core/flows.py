@@ -1,0 +1,48 @@
+"""The six Draco execution flows (Table I).
+
+Each system call's journey through the hardware is classified by the
+hit/miss outcomes of the STB access (at ROB insertion), the SLB preload
+(speculative, by hash), and the SLB access (non-speculative, at the ROB
+head with the real argument values).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Flow(enum.Enum):
+    """Table I rows, plus the two paths outside its lattice."""
+
+    FLOW_1 = "stb_hit/preload_hit/access_hit"      # fast
+    FLOW_2 = "stb_hit/preload_hit/access_miss"     # slow
+    FLOW_3 = "stb_hit/preload_miss/access_hit"     # fast
+    FLOW_4 = "stb_hit/preload_miss/access_miss"    # slow
+    FLOW_5 = "stb_miss/access_hit"                 # fast
+    FLOW_6 = "stb_miss/access_miss"                # slow
+    SPT_ONLY = "spt_only"       # no checkable arguments: Valid bit suffices
+    OS_CHECK = "os_check"       # VAT had no entry: Seccomp filter executed
+
+    @property
+    def is_fast(self) -> bool:
+        return self in (Flow.FLOW_1, Flow.FLOW_3, Flow.FLOW_5, Flow.SPT_ONLY)
+
+
+def classify(
+    stb_hit: bool, preload_hit: Optional[bool], access_hit: bool
+) -> Flow:
+    """Map the three outcomes onto a Table I row.
+
+    ``preload_hit`` is ``None`` when no preload was attempted (STB miss:
+    "Draco does not preload the SLB because it does not know the SID").
+    """
+    if stb_hit:
+        if preload_hit is None:
+            raise ValueError("an STB hit always attempts an SLB preload")
+        if preload_hit:
+            return Flow.FLOW_1 if access_hit else Flow.FLOW_2
+        return Flow.FLOW_3 if access_hit else Flow.FLOW_4
+    if preload_hit is not None:
+        raise ValueError("an STB miss cannot preload the SLB")
+    return Flow.FLOW_5 if access_hit else Flow.FLOW_6

@@ -1,0 +1,116 @@
+"""SMT support: per-context partitioning of the Draco structures.
+
+Section VII-B: "Draco can support SMT by partitioning the three
+hardware structures and giving one partition to each SMT context.  Each
+context accesses its partition."  Section IX relies on the same
+partitioning to rule out cross-context side channels.
+
+:class:`SmtDraco` hosts one :class:`HardwareDraco` pipeline per
+hardware context, each built over structures scaled to ``1/contexts``
+of the Table II geometry, so no state — SLB, STB, SPT, or Temporary
+Buffer — is ever shared between contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.core.hardware import HardwareDraco, HwCheckResult
+from repro.core.software import ProcessTables
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DracoHwParams,
+    ProcessorParams,
+    SlbSubtableParams,
+)
+from repro.seccomp.engine import SeccompKernelModule
+from repro.syscalls.events import SyscallEvent
+
+
+def partition_hw_params(hw: DracoHwParams, contexts: int) -> DracoHwParams:
+    """Scale the Table II structures down to one SMT context's share.
+
+    Entry counts divide by the context count (floored to multiples of
+    the associativity so set-associative geometry stays valid).
+    """
+    if contexts < 1:
+        raise ConfigError("need at least one SMT context")
+
+    def scale(entries: int, ways: int) -> int:
+        share = max(ways, entries // contexts)
+        return share // ways * ways
+
+    return replace(
+        hw,
+        stb_entries=scale(hw.stb_entries, hw.stb_ways),
+        spt_entries=max(1, hw.spt_entries // contexts),
+        temp_buffer_entries=max(1, hw.temp_buffer_entries // contexts),
+        slb_subtables=tuple(
+            SlbSubtableParams(
+                arg_count=sub.arg_count,
+                entries=scale(sub.entries, sub.ways),
+                ways=sub.ways,
+                access_cycles=sub.access_cycles,
+            )
+            for sub in hw.slb_subtables
+        ),
+    )
+
+
+class SmtDraco:
+    """One core's Draco hardware shared by N SMT contexts.
+
+    Each context binds its own process tables and Seccomp module (two
+    hyperthreads generally run different processes).
+    """
+
+    def __init__(
+        self,
+        context_bindings: Sequence[Tuple[ProcessTables, SeccompKernelModule]],
+        processor: ProcessorParams = DEFAULT_PROCESSOR,
+        hw: DracoHwParams = DEFAULT_DRACO_HW,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        **hardware_kwargs,
+    ) -> None:
+        if not context_bindings:
+            raise ConfigError("need at least one SMT context binding")
+        self.num_contexts = len(context_bindings)
+        partitioned = partition_hw_params(hw, self.num_contexts)
+        # The cache hierarchy *is* shared between hyperthreads; the
+        # Draco structures are not.
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(processor)
+        self._pipelines: List[HardwareDraco] = [
+            HardwareDraco(
+                tables,
+                module,
+                processor=processor,
+                hw=partitioned,
+                hierarchy=self.hierarchy,
+                **hardware_kwargs,
+            )
+            for tables, module in context_bindings
+        ]
+
+    def pipeline(self, context: int) -> HardwareDraco:
+        if not 0 <= context < self.num_contexts:
+            raise ConfigError(f"no SMT context {context}")
+        return self._pipelines[context]
+
+    def on_syscall(self, context: int, event: SyscallEvent) -> HwCheckResult:
+        """Check a syscall issued by one hardware context."""
+        return self.pipeline(context).on_syscall(event)
+
+    def context_switch(self, context: int, same_process: bool = False) -> None:
+        """Switch one context's process; other partitions are untouched
+        (the per-context invalidation of Sections VII-B / IX)."""
+        self.pipeline(context).context_switch(same_process=same_process)
+
+    def occupancy(self) -> Dict[int, int]:
+        return {
+            index: pipeline.stb.occupancy
+            for index, pipeline in enumerate(self._pipelines)
+        }

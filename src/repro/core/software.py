@@ -1,0 +1,198 @@
+"""Software implementation of Draco (Section V-C).
+
+A Linux-kernel-component model: at the syscall entry point, Draco reads
+the SID and argument values, consults the per-process SPT and VAT, and
+only falls back to executing the Seccomp filter on a miss — after which
+the VAT is updated so the validation is never repeated.
+
+Correctness rests on Seccomp profiles being *stateless* (Section V):
+the filter's output depends only on the (SID, argument set) input, so a
+cached positive validation remains valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.spt import SoftwareSPT, SptEntry
+from repro.core.vat import VAT
+from repro.cpu.params import DEFAULT_SW_COSTS, SoftwareCostParams
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.events import SyscallEvent
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+
+def bitmask_for_arg_indices(indices: Tuple[int, ...]) -> int:
+    """Argument Bitmask with all 8 bytes of each listed argument set."""
+    mask = 0
+    for index in indices:
+        if not 0 <= index < 6:
+            raise ValueError(f"argument index out of range: {index}")
+        mask |= 0xFF << (index * 8)
+    return mask
+
+
+@dataclass
+class ProcessTables:
+    """The per-process Draco state the OS kernel maintains."""
+
+    spt: SoftwareSPT
+    vat: VAT
+    profile: SeccompProfile
+
+
+def build_process_tables(
+    profile: SeccompProfile, table: SyscallTable = LINUX_X86_64
+) -> ProcessTables:
+    """Populate the SPT and size the VAT from a Seccomp profile.
+
+    Section VII-A: "The OS kernel is responsible for filling the VAT of
+    each process ... The OS sizes each table based on the number of
+    argument sets used by [the] corresponding system call (e.g., based
+    on the given Seccomp profile)."
+    """
+    spt = SoftwareSPT()
+    vat = VAT()
+    for rule in profile.rules:
+        sdef = table.by_sid(rule.sid)
+        if rule.checks_args and sdef.checkable_args:
+            bitmask = bitmask_for_arg_indices(sdef.checkable_args)
+            vat_table = vat.ensure_table(rule.sid, estimated_arg_sets=len(rule.arg_rules))
+            spt.set_entry(
+                SptEntry(
+                    sid=rule.sid,
+                    valid=True,
+                    base=vat_table.base_address,
+                    arg_bitmask=bitmask,
+                )
+            )
+        else:
+            spt.set_entry(SptEntry(sid=rule.sid, valid=True, base=0, arg_bitmask=0))
+    return ProcessTables(spt=spt, vat=vat, profile=profile)
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of checking one syscall under a Draco regime."""
+
+    allowed: bool
+    cycles: float
+    path: str  # "spt_only" | "vat_hit" | "filter_run" | "denied"
+    #: Full seccomp return value when a denial's disposition matters
+    #: (SECCOMP_RET_ERRNO returns -1 to the caller; KILL terminates).
+    #: None means "no filter result to report" (allowed fast paths).
+    action: Optional[int] = None
+
+
+@dataclass
+class SoftwareDracoStats:
+    spt_only: int = 0
+    vat_hits: int = 0
+    filter_runs: int = 0
+    denials: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.spt_only + self.vat_hits + self.filter_runs + self.denials
+
+    @property
+    def vat_hit_rate(self) -> float:
+        checked = self.vat_hits + self.filter_runs
+        return self.vat_hits / checked if checked else 0.0
+
+
+class SoftwareDraco:
+    """The software Draco checker for one process."""
+
+    def __init__(
+        self,
+        tables: ProcessTables,
+        seccomp: SeccompKernelModule,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        use_jit: bool = True,
+    ) -> None:
+        self.tables = tables
+        self.seccomp = seccomp
+        self.costs = costs
+        self.use_jit = use_jit
+        self.stats = SoftwareDracoStats()
+
+    def attach_additional_filter(self, program) -> None:
+        """Tighten the sandbox at runtime (seccomp(2) semantics: filters
+        can only be added, and results only become more restrictive).
+
+        Section VII-B assumes filters are static, which lets Draco skip
+        coherence machinery; the one mutation the kernel does allow —
+        attaching another filter — therefore must flush every cached
+        validation, since the new filter may deny previously validated
+        (SID, argument set) combinations.
+        """
+        self.seccomp.attach(program)
+        self.tables.vat.clear_all()
+
+    def _filter_cycles(self, instructions: int) -> float:
+        per_insn = (
+            self.costs.cycles_per_bpf_insn_jit
+            if self.use_jit
+            else self.costs.cycles_per_bpf_insn_interpreted
+        )
+        # The slow-entry-path surcharge applies only when the filter
+        # machinery actually runs (Draco's entry hook takes the fast
+        # path on cache hits).
+        return (
+            self.costs.seccomp_slow_path_cycles
+            + self.costs.seccomp_fixed_cycles
+            + instructions * per_insn
+        )
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        """Figure 4's workflow: table check, then filter on a miss."""
+        spt = self.tables.spt
+        entry = spt.lookup(event.sid)
+
+        if entry is None or not entry.valid:
+            # Unknown syscall: the filter runs and (for whitelist
+            # profiles) rejects it.  Nothing is cached.
+            decision = self.seccomp.check(event)
+            cycles = self.costs.sw_draco_spt_only_cycles + self._filter_cycles(
+                decision.instructions_executed
+            )
+            self.stats.denials += 1
+            return CheckOutcome(
+                allowed=decision.allowed,
+                cycles=cycles,
+                path="denied",
+                action=decision.return_value,
+            )
+
+        if not entry.checks_arguments:
+            self.stats.spt_only += 1
+            return CheckOutcome(
+                allowed=True, cycles=self.costs.sw_draco_spt_only_cycles, path="spt_only"
+            )
+
+        key = VAT.key_for(event.args, entry.arg_bitmask)
+        probe = self.tables.vat.lookup(event.sid, key)
+        if probe is not None and probe.hit:
+            self.stats.vat_hits += 1
+            return CheckOutcome(
+                allowed=True, cycles=self.costs.sw_draco_hit_cycles, path="vat_hit"
+            )
+
+        # VAT miss: execute the Seccomp filter, then cache the validation.
+        # (fall through)
+        decision = self.seccomp.check(event)
+        cycles = self.costs.sw_draco_hit_cycles + self._filter_cycles(
+            decision.instructions_executed
+        )
+        if decision.allowed:
+            self.tables.vat.insert(event.sid, key, event.args)
+            cycles += self.costs.sw_draco_insert_cycles
+            self.stats.filter_runs += 1
+            return CheckOutcome(allowed=True, cycles=cycles, path="filter_run")
+        self.stats.denials += 1
+        return CheckOutcome(
+            allowed=False, cycles=cycles, path="denied", action=decision.return_value
+        )

@@ -1,0 +1,32 @@
+"""CPU substrate: architectural parameters, caches, memory hierarchy."""
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.hierarchy import AccessResult, MemoryHierarchy
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    OLD_KERNEL_SW_COSTS,
+    CacheParams,
+    DracoHwParams,
+    OldKernelCostParams,
+    ProcessorParams,
+    SlbSubtableParams,
+    SoftwareCostParams,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "AccessResult",
+    "MemoryHierarchy",
+    "DEFAULT_DRACO_HW",
+    "DEFAULT_PROCESSOR",
+    "DEFAULT_SW_COSTS",
+    "OLD_KERNEL_SW_COSTS",
+    "CacheParams",
+    "DracoHwParams",
+    "OldKernelCostParams",
+    "ProcessorParams",
+    "SlbSubtableParams",
+    "SoftwareCostParams",
+]

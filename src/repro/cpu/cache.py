@@ -1,0 +1,100 @@
+"""Set-associative cache with true-LRU replacement.
+
+Used to model the L1/L2/L3 data hierarchy the VAT lives in, and reused
+(with small entry counts) for the Draco hardware tables, which are also
+set-associative LRU structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.cpu.params import CacheParams
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache: tracks presence, not data."""
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(params.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- address mapping ----------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.params.line_bytes
+        set_index = line % self.params.num_sets
+        tag = line // self.params.num_sets
+        return set_index, tag
+
+    # -- operations -----------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Access *address*: returns hit/miss and allocates on miss (LRU)."""
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            lines[tag] = self._clock
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(lines) >= self.params.ways:
+            victim = min(lines, key=lines.get)  # true LRU
+            del lines[victim]
+        lines[tag] = self._clock
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating LRU or allocating."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def touch(self, address: int) -> None:
+        """Refresh LRU state of a resident line (no allocation)."""
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            lines[tag] = self._clock
+
+    def invalidate(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return self._sets[set_index].pop(tag, None) is not None
+
+    def invalidate_all(self) -> None:
+        for lines in self._sets:
+            lines.clear()
+
+    def evict_lru_fraction(self, fraction: float) -> int:
+        """Evict the LRU *fraction* of each set — models pollution by
+        unrelated application traffic between syscalls."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError("fraction must be within [0, 1]")
+        evicted = 0
+        for lines in self._sets:
+            count = int(len(lines) * fraction)
+            for _ in range(count):
+                victim = min(lines, key=lines.get)
+                del lines[victim]
+                evicted += 1
+        return evicted
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,109 @@
+"""L1/L2/L3/DRAM memory hierarchy timing model.
+
+VAT accesses (software probes, hardware preloads, and ROB-head walks)
+go through this hierarchy; Table I's "Slow cases can have different
+latency, depending on whether the VAT accesses hit or miss in the
+caches" is exactly what this module computes.
+
+Application code running between system calls evicts VAT lines; the
+regimes model that with :meth:`MemoryHierarchy.pollute`, which ages the
+LRU stacks in proportion to the cycles of unrelated work executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.params import ProcessorParams
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Latency and servicing level of one memory access."""
+
+    cycles: int
+    level: str  # "L1" | "L2" | "L3" | "DRAM"
+
+
+class MemoryHierarchy:
+    """Three-level inclusive cache hierarchy backed by DRAM."""
+
+    #: Fraction of each cache's LRU stack evicted per 100k cycles of
+    #: application work (calibrated pollution pressure).
+    POLLUTION_PER_100K_CYCLES = {"L1": 0.45, "L2": 0.15, "L3": 0.03}
+
+    def __init__(
+        self,
+        params: ProcessorParams = ProcessorParams(),
+        shared_l3: "SetAssociativeCache" = None,
+    ) -> None:
+        self.params = params
+        self.l1 = SetAssociativeCache(params.l1d)
+        self.l2 = SetAssociativeCache(params.l2)
+        # The L3 is shared between the chip's cores (Table II); pass the
+        # same instance to every core's hierarchy to model that.
+        self.l3 = shared_l3 if shared_l3 is not None else SetAssociativeCache(params.l3)
+        self._pollution_credit = {"L1": 0.0, "L2": 0.0, "L3": 0.0}
+
+    def access(self, address: int) -> AccessResult:
+        """Load *address*, filling all levels on the way in."""
+        if self.l1.access(address):
+            return AccessResult(cycles=self.params.l1d.access_cycles, level="L1")
+        if self.l2.access(address):
+            self._fill_l1(address)
+            return AccessResult(
+                cycles=self.params.l1d.access_cycles + self.params.l2.access_cycles,
+                level="L2",
+            )
+        if self.l3.access(address):
+            self._fill_l1(address)
+            return AccessResult(
+                cycles=self.params.l1d.access_cycles
+                + self.params.l2.access_cycles
+                + self.params.l3.access_cycles,
+                level="L3",
+            )
+        self._fill_l1(address)
+        return AccessResult(
+            cycles=self.params.l1d.access_cycles
+            + self.params.l2.access_cycles
+            + self.params.l3.access_cycles
+            + self.params.dram_cycles,
+            level="DRAM",
+        )
+
+    def access_parallel(self, addresses: Tuple[int, ...]) -> int:
+        """Latency of issuing several accesses in parallel (the VAT's two
+        cuckoo ways are fetched concurrently — Section V-B)."""
+        if not addresses:
+            return 0
+        return max(self.access(addr).cycles for addr in addresses)
+
+    def _fill_l1(self, address: int) -> None:
+        # access() on L1 already allocated the line on its miss path; this
+        # exists to keep the fill explicit if the L1 policy ever changes.
+        self.l1.touch(address)
+
+    def pollute(self, work_cycles: int) -> None:
+        """Model eviction pressure from *work_cycles* of application code."""
+        if work_cycles <= 0:
+            return
+        for level_name, cache in (("L1", self.l1), ("L2", self.l2), ("L3", self.l3)):
+            rate = self.POLLUTION_PER_100K_CYCLES[level_name]
+            credit = self._pollution_credit[level_name] + work_cycles * rate / 100_000
+            if credit >= 0.005:
+                fraction = min(credit, 1.0)
+                cache.evict_lru_fraction(fraction)
+                credit = 0.0
+            self._pollution_credit[level_name] = credit
+
+    def invalidate_all(self) -> None:
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+        self.l3.invalidate_all()
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.reset_stats()

@@ -1,0 +1,175 @@
+"""Architectural configuration — Table II of the paper.
+
+Processor, Draco-structure, and main-memory parameters used by the
+hardware simulation, plus the calibrated software cost constants used by
+the real-system cost models (Section IV / XI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and access time of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    access_cycles: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigError(f"{self.name}: sizes must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ConfigError(f"{self.name}: size not divisible into sets")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class SlbSubtableParams:
+    """One SLB set-associative subtable (per argument count, Figure 6)."""
+
+    arg_count: int
+    entries: int
+    ways: int
+    access_cycles: int = 2
+
+
+@dataclass(frozen=True)
+class DracoHwParams:
+    """Per-core Draco hardware structures (Table II)."""
+
+    stb_entries: int = 256
+    stb_ways: int = 2
+    stb_access_cycles: int = 2
+    spt_entries: int = 384
+    spt_ways: int = 1
+    spt_access_cycles: int = 2
+    temp_buffer_entries: int = 8
+    temp_buffer_ways: int = 4
+    temp_buffer_access_cycles: int = 2
+    crc_cycles: int = 3  # 964 ps at 2 GHz, conservatively 3 cycles (§XI-C)
+    # Table II: one set-associative subtable per argument count, 1-6.
+    # Syscalls with zero checkable arguments need no SLB entry — the SPT
+    # Valid bit alone validates them (Section V-A).
+    slb_subtables: Tuple[SlbSubtableParams, ...] = (
+        SlbSubtableParams(arg_count=1, entries=32, ways=4),
+        SlbSubtableParams(arg_count=2, entries=64, ways=4),
+        SlbSubtableParams(arg_count=3, entries=64, ways=4),
+        SlbSubtableParams(arg_count=4, entries=32, ways=4),
+        SlbSubtableParams(arg_count=5, entries=32, ways=4),
+        SlbSubtableParams(arg_count=6, entries=16, ways=4),
+    )
+
+    def slb_subtable_for(self, arg_count: int) -> SlbSubtableParams:
+        for subtable in self.slb_subtables:
+            if subtable.arg_count == arg_count:
+                return subtable
+        raise ConfigError(f"no SLB subtable for argument count {arg_count}")
+
+
+@dataclass(frozen=True)
+class ProcessorParams:
+    """Multicore chip parameters (Table II)."""
+
+    cores: int = 10
+    rob_entries: int = 128
+    frequency_ghz: float = 2.0
+    dispatch_width: int = 4
+    average_ipc: float = 1.8  # used to convert ROB occupancy into cycles
+    l1d: CacheParams = CacheParams("L1D", 32 * 1024, 8, 2)
+    l2: CacheParams = CacheParams("L2", 256 * 1024, 8, 8)
+    l3: CacheParams = CacheParams("L3", 8 * 1024 * 1024, 16, 32)
+    dram_cycles: int = 120  # ~60 ns at 2 GHz over DDR, 2 channels
+
+    @property
+    def dispatch_to_head_cycles(self) -> int:
+        """Average cycles from ROB insertion to reaching the ROB head.
+
+        With a 128-entry ROB at the observed average IPC, a newly
+        dispatched instruction waits roughly ``occupancy / IPC`` cycles
+        before reaching the head — the window Draco's SLB preloading
+        (Section VI-B) has to hide VAT latency in.
+        """
+        return int(self.rob_entries / 2 / self.average_ipc)
+
+
+@dataclass(frozen=True)
+class SoftwareCostParams:
+    """Calibrated cycle costs for the software paths (real-system model).
+
+    These model the Xeon E5-2660 v3 measurements of Sections IV and
+    XI-A.  ``syscall_base_cycles`` is the cost of a trivial syscall with
+    Seccomp disabled; the remaining constants are the *additional*
+    checking costs per syscall.
+    """
+
+    syscall_base_cycles: int = 150
+    # Conventional Seccomp: fixed trampoline + per-BPF-instruction cost.
+    seccomp_fixed_cycles: int = 20
+    # Extra cost of the forced *slow* syscall entry path some kernels
+    # take whenever TIF_SECCOMP is set (the CentOS 7 / Linux 3.10
+    # pathology behind the appendix's 2-4x outliers).  Zero on modern
+    # kernels.  Charged per conventional filter invocation; the paper's
+    # software-Draco kernel component hooks the entry path directly and
+    # only pays it when it actually falls back to the filter.
+    seccomp_slow_path_cycles: int = 0
+    cycles_per_bpf_insn_jit: float = 1.15
+    cycles_per_bpf_insn_interpreted: float = 3.0  # JIT gives 2-3x (§IV-A)
+    # Software Draco (Section V-C): SPT load + selector + software CRC
+    # hashing + two VAT probes + argument comparison.  Substantial, per
+    # the paper: "the software implementation of argument checking
+    # requires expensive operations".
+    sw_draco_fixed_cycles: int = 20
+    sw_draco_hash_cycles: int = 10
+    sw_draco_vat_probe_cycles: int = 12  # per probe, two probes per lookup
+    sw_draco_compare_cycles: int = 8
+    sw_draco_insert_cycles: int = 150
+    # ID-only software Draco path (SPT bit check, Section V-A).
+    sw_draco_spt_only_cycles: int = 22
+
+    @property
+    def sw_draco_hit_cycles(self) -> int:
+        """Software Draco cost of a VAT hit with argument checking."""
+        return (
+            self.sw_draco_fixed_cycles
+            + self.sw_draco_hash_cycles
+            + 2 * self.sw_draco_vat_probe_cycles
+            + self.sw_draco_compare_cycles
+        )
+
+
+@dataclass(frozen=True)
+class OldKernelCostParams(SoftwareCostParams):
+    """Appendix A cost constants: CentOS 7.6 / Linux 3.10, KPTI+Spectre on.
+
+    The older kernel has a much slower syscall entry path (KPTI flushes,
+    retpolines) and Seccomp "does not make use of" the BPF JIT, so
+    filters run interpreted.  Several pathological cases in Figure 16
+    come from this combination.
+    """
+
+    syscall_base_cycles: int = 400
+    seccomp_fixed_cycles: int = 40
+    seccomp_slow_path_cycles: int = 550  # forced slow entry (TIF_SECCOMP)
+    cycles_per_bpf_insn_jit: float = 3.0  # JIT attached but unused by Seccomp
+    sw_draco_fixed_cycles: int = 45
+
+
+DEFAULT_PROCESSOR = ProcessorParams()
+DEFAULT_DRACO_HW = DracoHwParams()
+DEFAULT_SW_COSTS = SoftwareCostParams()
+OLD_KERNEL_SW_COSTS = OldKernelCostParams()

@@ -1,0 +1,19 @@
+"""Experiment layer: one module per paper table/figure plus the runner."""
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import (
+    DEFAULT_EVENTS,
+    WorkloadContext,
+    build_context,
+    calibrate_work_cycles,
+    get_context,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "DEFAULT_EVENTS",
+    "WorkloadContext",
+    "build_context",
+    "calibrate_work_cycles",
+    "get_context",
+]

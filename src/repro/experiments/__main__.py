@@ -1,0 +1,64 @@
+"""Regenerate the paper's evaluation from the command line.
+
+Usage::
+
+    python -m repro.experiments            # every table and figure
+    python -m repro.experiments fig12      # one artifact
+    python -m repro.experiments fig2 --events 6000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import REGISTRY, by_id
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. fig2, fig12, table1); all when omitted",
+    )
+    parser.add_argument(
+        "--events", type=int, default=None, help="trace length per workload"
+    )
+    parser.add_argument(
+        "--csv-dir", type=str, default=None,
+        help="also write each artifact as <id>.csv into this directory",
+    )
+    parser.add_argument(
+        "--markdown", type=str, default=None,
+        help="also write all artifacts into one markdown report file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment:
+        experiments = [by_id(args.experiment)]
+    else:
+        experiments = list(REGISTRY)
+    markdown_parts = []
+    for experiment in experiments:
+        result = experiment.run(events=args.events)
+        print(result.format_table())
+        print()
+        if args.csv_dir:
+            from pathlib import Path
+
+            directory = Path(args.csv_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.write_csv(directory / f"{experiment.experiment_id}.csv")
+        if args.markdown:
+            markdown_parts.append(result.to_markdown())
+    if args.markdown:
+        from pathlib import Path
+
+        header = "# Draco reproduction — regenerated evaluation\n\n"
+        Path(args.markdown).write_text(header + "\n".join(markdown_parts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

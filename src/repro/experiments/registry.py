@@ -1,0 +1,89 @@
+"""Experiment registry: every table and figure, with its regenerator.
+
+Maps each of the paper's evaluation artifacts to the module that
+regenerates it and the benchmark that exercises it, so
+``python -m repro.experiments`` can reproduce the whole evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import (
+    bitmap_comparison,
+    fig2_seccomp_overhead,
+    fig3_locality,
+    flow_mix,
+    fig11_draco_sw,
+    fig12_draco_hw,
+    fig13_hit_rates,
+    fig14_arg_distribution,
+    fig15_security,
+    fig16_old_kernel,
+    fig17_old_kernel_sw,
+    table1_flows,
+    table2_config,
+    table3_hwcost,
+    vat_footprint,
+)
+from repro.experiments.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artifact."""
+
+    experiment_id: str
+    title: str
+    run: Callable[..., ExperimentResult]
+    benchmark: str  # pytest-benchmark target that regenerates it
+
+
+REGISTRY: Tuple[Experiment, ...] = (
+    Experiment("fig2", "Seccomp checking overhead", fig2_seccomp_overhead.run,
+               "benchmarks/test_fig2_seccomp_overhead.py"),
+    Experiment("fig3", "System call locality", fig3_locality.run,
+               "benchmarks/test_fig3_locality.py"),
+    Experiment("table1", "Draco execution flows", table1_flows.run,
+               "benchmarks/test_table1_flows.py"),
+    Experiment("table2", "Architectural configuration", table2_config.run,
+               "benchmarks/test_table2_config.py"),
+    Experiment("fig11", "Software Draco vs Seccomp", fig11_draco_sw.run,
+               "benchmarks/test_fig11_draco_sw.py"),
+    Experiment("fig12", "Hardware Draco", fig12_draco_hw.run,
+               "benchmarks/test_fig12_draco_hw.py"),
+    Experiment("fig13", "STB/SLB hit rates", fig13_hit_rates.run,
+               "benchmarks/test_fig13_hit_rates.py"),
+    Experiment("fig14", "Argument count distribution", fig14_arg_distribution.run,
+               "benchmarks/test_fig14_arg_distribution.py"),
+    Experiment("fig15", "Profile security metrics", fig15_security.run,
+               "benchmarks/test_fig15_security.py"),
+    Experiment("table3", "Hardware area/energy", table3_hwcost.run,
+               "benchmarks/test_table3_hwcost.py"),
+    Experiment("vat", "VAT memory consumption", vat_footprint.run,
+               "benchmarks/test_vat_footprint.py"),
+    Experiment("fig16", "Old-kernel Seccomp overhead", fig16_old_kernel.run,
+               "benchmarks/test_fig16_old_kernel.py"),
+    Experiment("fig17", "Old-kernel software Draco", fig17_old_kernel_sw.run,
+               "benchmarks/test_fig17_old_kernel_sw.py"),
+    Experiment("flowmix", "Table I flow occupancy (extension)", flow_mix.run,
+               "benchmarks/test_flow_mix.py"),
+    Experiment("bitmap", "Draco vs 5.11 action-cache bitmap (extension)",
+               bitmap_comparison.run, "benchmarks/test_bitmap_comparison.py"),
+)
+
+
+def by_id(experiment_id: str) -> Experiment:
+    for experiment in REGISTRY:
+        if experiment.experiment_id == experiment_id:
+            return experiment
+    raise KeyError(experiment_id)
+
+
+def run_all(events: Optional[int] = None) -> Dict[str, ExperimentResult]:
+    """Regenerate every artifact (slow: the full evaluation)."""
+    results = {}
+    for experiment in REGISTRY:
+        results[experiment.experiment_id] = experiment.run(events=events)
+    return results

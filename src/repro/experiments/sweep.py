@@ -1,0 +1,135 @@
+"""Generic parameter-sweep harness over the hardware Draco design space.
+
+Ablations in DESIGN.md §5 are all instances of the same loop: vary one
+architectural parameter, re-run a workload under ``draco-hw-complete``,
+and record overhead plus structure hit rates.  This module provides
+that loop as a reusable harness (plus a couple of canned sweeps), so a
+new design question is one function call rather than a new benchmark
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.common.rng import DEFAULT_SEED
+from repro.cpu.params import DracoHwParams, ProcessorParams, SlbSubtableParams
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import get_context
+from repro.kernel.simulator import run_trace
+
+#: A sweep point: label + the DracoHwParams (and optional processor) to use.
+SweepPoint = Tuple[str, DracoHwParams, Optional[ProcessorParams]]
+
+
+@dataclass(frozen=True)
+class SweepObservation:
+    label: str
+    normalized_time: float
+    mean_stall_cycles: float
+    stb_hit_rate: float
+    slb_access_hit_rate: float
+    slb_preload_hit_rate: float
+
+
+def sweep(
+    workload: str,
+    points: Sequence[SweepPoint],
+    events: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[SweepObservation, ...]:
+    """Run one workload under hardware Draco at each design point."""
+    kwargs = dict(seed=seed)
+    if events is not None:
+        kwargs["events"] = events
+    ctx = get_context(workload, **kwargs)
+    observations = []
+    for label, hw, processor in points:
+        regime_kwargs = dict(hw=hw)
+        if processor is not None:
+            regime_kwargs["processor"] = processor
+        regime = ctx.make_regime("draco-hw-complete", **regime_kwargs)
+        result = run_trace(
+            ctx.trace, regime, ctx.work_cycles, ctx.syscall_base_cycles,
+            workload_name=workload,
+        )
+        draco = regime.draco
+        observations.append(
+            SweepObservation(
+                label=label,
+                normalized_time=result.normalized_time,
+                mean_stall_cycles=draco.stats.mean_stall_cycles,
+                stb_hit_rate=draco.stb.hit_rate,
+                slb_access_hit_rate=draco.slb.access_hit_rate,
+                slb_preload_hit_rate=draco.slb.preload_hit_rate,
+            )
+        )
+    return tuple(observations)
+
+
+def to_result(
+    workload: str, title: str, observations: Sequence[SweepObservation]
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=f"Sweep[{workload}]",
+        title=title,
+        columns=(
+            "point",
+            "normalized_time",
+            "mean_stall_cycles",
+            "stb_hit_rate",
+            "slb_access_hit_rate",
+            "slb_preload_hit_rate",
+        ),
+        rows=tuple(
+            (
+                obs.label,
+                round(obs.normalized_time, 4),
+                round(obs.mean_stall_cycles, 2),
+                round(obs.stb_hit_rate, 4),
+                round(obs.slb_access_hit_rate, 4),
+                round(obs.slb_preload_hit_rate, 4),
+            )
+            for obs in observations
+        ),
+    )
+
+
+# -- canned sweeps -----------------------------------------------------------
+
+
+def slb_scale_points(scales: Sequence[float]) -> Tuple[SweepPoint, ...]:
+    """Scale every SLB subtable by each factor."""
+    points = []
+    for scale in scales:
+        hw = DracoHwParams(
+            slb_subtables=tuple(
+                SlbSubtableParams(
+                    arg_count=sub.arg_count,
+                    entries=max(
+                        sub.ways, int(sub.entries * scale) // sub.ways * sub.ways
+                    ),
+                    ways=sub.ways,
+                )
+                for sub in DracoHwParams().slb_subtables
+            )
+        )
+        points.append((f"slb x{scale:g}", hw, None))
+    return tuple(points)
+
+
+def stb_size_points(sizes: Sequence[int]) -> Tuple[SweepPoint, ...]:
+    """Vary the STB entry count (Elasticsearch/Redis pressure knob)."""
+    return tuple(
+        (f"stb {size}", replace(DracoHwParams(), stb_entries=size), None)
+        for size in sizes
+    )
+
+
+def rob_window_points(rob_sizes: Sequence[int]) -> Tuple[SweepPoint, ...]:
+    """Vary the ROB size, which sets the preload-hiding window."""
+    return tuple(
+        (f"rob {rob}", DracoHwParams(), replace(ProcessorParams(), rob_entries=rob))
+        for rob in rob_sizes
+    )

@@ -1,0 +1,52 @@
+"""Table II — architectural configuration used for evaluation.
+
+Dumps the processor, per-core Draco, and memory parameters, asserting
+they match the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.params import DEFAULT_DRACO_HW, DEFAULT_PROCESSOR
+from repro.experiments.results import ExperimentResult
+
+
+def run(events: Optional[int] = None, seed: int = 0) -> ExperimentResult:
+    proc = DEFAULT_PROCESSOR
+    hw = DEFAULT_DRACO_HW
+    rows = [
+        ("cores", proc.cores, "10 OOO cores"),
+        ("rob_entries", proc.rob_entries, "128-entry ROB"),
+        ("frequency_ghz", proc.frequency_ghz, "2 GHz"),
+        ("l1d", f"{proc.l1d.size_bytes // 1024}KB/{proc.l1d.ways}w/{proc.l1d.access_cycles}cyc", "32KB, 8 way, 2 cyc"),
+        ("l2", f"{proc.l2.size_bytes // 1024}KB/{proc.l2.ways}w/{proc.l2.access_cycles}cyc", "256KB, 8 way, 8 cyc"),
+        ("l3", f"{proc.l3.size_bytes // (1024 * 1024)}MB/{proc.l3.ways}w/{proc.l3.access_cycles}cyc", "8MB, 16 way, shared, 32 cyc"),
+        ("stb", f"{hw.stb_entries} entries/{hw.stb_ways}w/{hw.stb_access_cycles}cyc", "256 entries, 2 way, 2 cyc"),
+        ("spt", f"{hw.spt_entries} entries/{hw.spt_ways}w/{hw.spt_access_cycles}cyc", "384 entries, 1 way, 2 cyc"),
+        ("temp_buffer", f"{hw.temp_buffer_entries} entries/{hw.temp_buffer_ways}w", "8 entries, 4 way, 2 cyc"),
+        ("crc_cycles", hw.crc_cycles, "3 cycles (964 ps at 2 GHz)"),
+    ]
+    for sub in hw.slb_subtables:
+        rows.append(
+            (
+                f"slb_{sub.arg_count}arg",
+                f"{sub.entries} entries/{sub.ways}w/{sub.access_cycles}cyc",
+                {1: "32", 2: "64", 3: "64", 4: "32", 5: "32", 6: "16"}[sub.arg_count]
+                + " entries, 4 way, 2 cyc",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="Table II",
+        title="Architectural configuration",
+        columns=("parameter", "configured", "paper"),
+        rows=tuple(rows),
+    )
+
+
+def main() -> None:
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Section VIII generality: Draco for non-syscall privilege transitions."""
+
+from repro.generality.hypercalls import (
+    XEN_HYPERCALLS,
+    guest_vm_policy,
+    xen_domain,
+)
+from repro.generality.sentry import (
+    LIBRARY_API,
+    SENTRY_REQUESTS,
+    library_domain,
+    sentry_domain,
+    web_app_sentry_policy,
+)
+from repro.generality.transitions import (
+    DracoTransitionChecker,
+    RequestDef,
+    TransitionDomain,
+)
+
+__all__ = [
+    "XEN_HYPERCALLS",
+    "guest_vm_policy",
+    "xen_domain",
+    "LIBRARY_API",
+    "SENTRY_REQUESTS",
+    "library_domain",
+    "sentry_domain",
+    "web_app_sentry_policy",
+    "DracoTransitionChecker",
+    "RequestDef",
+    "TransitionDomain",
+]

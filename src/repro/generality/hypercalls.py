@@ -1,0 +1,96 @@
+"""Hypercall checking: Draco at the guest -> hypervisor boundary.
+
+Section VIII: "Draco can support security checks in virtualized
+environments, such as when the guest OS invokes the hypervisor through
+hypercalls."  This module defines a Xen-style hypercall interface and a
+VM profile over it; :class:`DracoTransitionChecker` then provides
+cached checking with the unmodified Draco machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.generality.transitions import RequestDef, TransitionDomain
+from repro.seccomp.profile import ArgCmp, ArgSetRule
+
+#: A Xen-flavoured hypercall table (IDs follow xen.h; operand counts are
+#: the register operands a checker could validate).
+XEN_HYPERCALLS: Tuple[RequestDef, ...] = (
+    RequestDef(0, "set_trap_table", 1),
+    RequestDef(1, "mmu_update", 3),
+    RequestDef(2, "set_gdt", 2),
+    RequestDef(3, "stack_switch", 2),
+    RequestDef(4, "set_callbacks", 3),
+    RequestDef(5, "fpu_taskswitch", 1),
+    RequestDef(6, "sched_op_compat", 2),
+    RequestDef(8, "set_debugreg", 2),
+    RequestDef(9, "get_debugreg", 1),
+    RequestDef(10, "update_descriptor", 2),
+    RequestDef(12, "memory_op", 2),
+    RequestDef(13, "multicall", 2),
+    RequestDef(14, "update_va_mapping", 3),
+    RequestDef(15, "set_timer_op", 1),
+    RequestDef(17, "xen_version", 2),
+    RequestDef(18, "console_io", 3),
+    RequestDef(20, "grant_table_op", 3),
+    RequestDef(21, "vm_assist", 2),
+    RequestDef(23, "iret", 0),
+    RequestDef(24, "vcpu_op", 3),
+    RequestDef(25, "set_segment_base", 2),
+    RequestDef(26, "mmuext_op", 4),
+    RequestDef(27, "xsm_op", 1),
+    RequestDef(28, "nmi_op", 2),
+    RequestDef(29, "sched_op", 2),
+    RequestDef(30, "callback_op", 2),
+    RequestDef(31, "xenoprof_op", 2),
+    RequestDef(32, "event_channel_op", 2),
+    RequestDef(33, "physdev_op", 2),
+    RequestDef(34, "hvm_op", 2),
+    RequestDef(35, "sysctl", 1),
+    RequestDef(36, "domctl", 1),
+    RequestDef(37, "kexec_op", 2),
+    RequestDef(38, "tmem_op", 1),
+    RequestDef(39, "argo_op", 5),
+    RequestDef(40, "xenpmu_op", 2),
+)
+
+#: sched_op commands (SCHEDOP_*).
+SCHEDOP_YIELD = 0
+SCHEDOP_BLOCK = 1
+SCHEDOP_SHUTDOWN = 2
+SCHEDOP_POLL = 3
+
+#: event_channel_op commands (EVTCHNOP_*).
+EVTCHNOP_SEND = 4
+EVTCHNOP_BIND_VIRQ = 1
+
+
+def xen_domain() -> TransitionDomain:
+    """The hypercall transition domain."""
+    return TransitionDomain("xen", XEN_HYPERCALLS)
+
+
+def guest_vm_policy(domain: TransitionDomain):
+    """A paravirtualised guest's whitelist: the steady-state hypercalls
+    an unprivileged domU needs, with command operands pinned — the
+    hypercall analogue of ``syscall-complete``."""
+    return domain.policy(
+        "domU",
+        allowed=(
+            "sched_op", "event_channel_op", "update_va_mapping", "mmu_update",
+            "mmuext_op", "grant_table_op", "memory_op", "set_timer_op",
+            "xen_version", "vcpu_op", "multicall", "iret",
+        ),
+        operand_rules={
+            "sched_op": [
+                ArgSetRule((ArgCmp(0, SCHEDOP_YIELD),)),
+                ArgSetRule((ArgCmp(0, SCHEDOP_BLOCK),)),
+                ArgSetRule((ArgCmp(0, SCHEDOP_POLL),)),
+            ],
+            "event_channel_op": [
+                ArgSetRule((ArgCmp(0, EVTCHNOP_SEND),)),
+                ArgSetRule((ArgCmp(0, EVTCHNOP_BIND_VIRQ),)),
+            ],
+        },
+    )

@@ -1,0 +1,79 @@
+"""User-level guardian checking: Draco for gVisor-Sentry-style requests.
+
+Section VIII: "Draco can be applied to user-level container
+technologies such as Google's gVisor, where a user-level guardian
+process such as the Sentry or Gofer is invoked to handle requests of
+less privileged application processes", and "Draco can also augment
+the security of library calls, such as in the recently-proposed Google
+Sandboxed API project."
+
+Both are transition domains: the request ID is the guardian entry point
+(or exported library function), and the operands are its scalar
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.generality.transitions import RequestDef, TransitionDomain
+from repro.seccomp.profile import ArgCmp, ArgSetRule
+
+#: Requests an application can make of a Sentry-style guardian.
+SENTRY_REQUESTS: Tuple[RequestDef, ...] = (
+    RequestDef(0, "file_open", 2),      # (flags, mode)
+    RequestDef(1, "file_read", 2),      # (fd, count)
+    RequestDef(2, "file_write", 2),     # (fd, count)
+    RequestDef(3, "file_close", 1),     # (fd,)
+    RequestDef(4, "mem_map", 3),        # (length, prot, flags)
+    RequestDef(5, "mem_unmap", 1),      # (length,)
+    RequestDef(6, "net_connect", 2),    # (family, port)
+    RequestDef(7, "net_send", 2),       # (fd, count)
+    RequestDef(8, "net_recv", 2),       # (fd, count)
+    RequestDef(9, "thread_create", 1),  # (flags,)
+    RequestDef(10, "thread_exit", 0),
+    RequestDef(11, "clock_read", 1),    # (clock id,)
+    RequestDef(12, "random_bytes", 1),  # (count,)
+)
+
+#: Exported entry points of a Sandboxed-API style C library (an image
+#: decoder, say), each with its scalar parameters.
+LIBRARY_API: Tuple[RequestDef, ...] = (
+    RequestDef(0, "lib_init", 1),        # (api version,)
+    RequestDef(1, "decode_header", 1),   # (buffer length,)
+    RequestDef(2, "decode_frame", 2),    # (frame index, flags)
+    RequestDef(3, "scale_image", 2),     # (width, height)
+    RequestDef(4, "free_image", 0),
+)
+
+
+def sentry_domain() -> TransitionDomain:
+    return TransitionDomain("sentry", SENTRY_REQUESTS)
+
+
+def library_domain() -> TransitionDomain:
+    return TransitionDomain("sandboxed-api", LIBRARY_API)
+
+
+def web_app_sentry_policy(domain: TransitionDomain):
+    """A web application's guardian whitelist: file/net I/O with pinned
+    operands, no thread creation beyond the standard flags."""
+    return domain.policy(
+        "webapp",
+        allowed=(
+            "file_open", "file_read", "file_write", "file_close",
+            "net_connect", "net_send", "net_recv", "clock_read",
+            "random_bytes", "thread_exit",
+        ),
+        operand_rules={
+            "file_open": [
+                ArgSetRule((ArgCmp(0, 0o0), ArgCmp(1, 0))),        # O_RDONLY
+                ArgSetRule((ArgCmp(0, 0o1101), ArgCmp(1, 0o644))),  # append log
+            ],
+            "net_connect": [
+                ArgSetRule((ArgCmp(0, 2), ArgCmp(1, 443))),
+                ArgSetRule((ArgCmp(0, 2), ArgCmp(1, 5432))),
+            ],
+            "clock_read": [ArgSetRule((ArgCmp(0, 1),))],            # monotonic
+        },
+    )

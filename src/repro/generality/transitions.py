@@ -1,0 +1,114 @@
+"""Draco beyond syscalls: checking arbitrary privilege-domain transitions.
+
+Section VIII: "The hardware structures proposed by Draco can further
+support other security checks that relate to the security of
+transitions between different privilege domains" — hypercalls from a
+guest OS into the hypervisor, requests into a user-level guardian like
+gVisor's Sentry, and library calls in Google's Sandboxed API.
+
+Nothing in the Draco machinery is syscall-specific: the SPT is indexed
+by a request ID, the VAT/SLB cache (ID, operand set) pairs, and the STB
+is indexed by the requesting PC.  This module packages that observation
+as :class:`TransitionDomain`: a named request table plus a whitelist
+policy, compiled and checked with the *same* profile/filter/Draco stack
+used for Seccomp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.hardware import HardwareDraco
+from repro.core.software import SoftwareDraco, build_process_tables
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import ArgSetRule, SeccompProfile
+from repro.syscalls.events import SyscallEvent, make_event
+from repro.syscalls.table import SyscallDef, SyscallTable
+
+
+@dataclass(frozen=True)
+class RequestDef:
+    """One request type in a transition interface (a 'syscall' of the
+    domain): ID, name, and how many checkable operands it takes."""
+
+    rid: int
+    name: str
+    noperands: int = 0
+
+
+class TransitionDomain:
+    """A privilege-crossing interface: hypercalls, guardian requests,
+    sandboxed library entry points, ..."""
+
+    def __init__(self, name: str, requests: Iterable[RequestDef]) -> None:
+        self.name = name
+        # Reuse the battle-tested SyscallTable as the request registry;
+        # operands are all checkable (no pointer-mask concept here —
+        # callers simply omit unchecked operands).
+        self.table = SyscallTable(
+            SyscallDef(sid=r.rid, name=r.name, nargs=r.noperands, pointer_mask=0)
+            for r in requests
+        )
+
+    def request(
+        self, ident, operands: Sequence[int] = (), pc: int = 0
+    ) -> SyscallEvent:
+        """Build one dynamic transition event."""
+        return make_event(ident, operands, pc=pc, table=self.table)
+
+    def policy(
+        self,
+        name: str,
+        allowed: Iterable[str],
+        operand_rules: Optional[Mapping[str, Sequence[ArgSetRule]]] = None,
+    ) -> SeccompProfile:
+        """A whitelist over this domain's requests."""
+        return SeccompProfile.from_names(
+            f"{self.name}:{name}",
+            allowed,
+            arg_rules=operand_rules,
+            table=self.table,
+        )
+
+
+@dataclass
+class DracoTransitionChecker:
+    """The full Draco stack bound to a non-syscall domain.
+
+    Builds the reference checker (compiled filters in a kernel module),
+    the software Draco cache, and the hardware Draco pipeline — all over
+    the domain's request table.
+    """
+
+    domain: TransitionDomain
+    policy: SeccompProfile
+    software: SoftwareDraco
+    hardware: HardwareDraco
+
+    @classmethod
+    def build(
+        cls, domain: TransitionDomain, policy: SeccompProfile, **hardware_kwargs
+    ) -> "DracoTransitionChecker":
+        def module() -> SeccompKernelModule:
+            mod = SeccompKernelModule()
+            for program in compile_profile_chunked(policy):
+                mod.attach(program)
+            return mod
+
+        software = SoftwareDraco(
+            build_process_tables(policy, table=domain.table), module()
+        )
+        hardware = HardwareDraco(
+            build_process_tables(policy, table=domain.table),
+            module(),
+            **hardware_kwargs,
+        )
+        return cls(domain=domain, policy=policy, software=software, hardware=hardware)
+
+    def check_software(self, event: SyscallEvent):
+        return self.software.check(event)
+
+    def check_hardware(self, event: SyscallEvent):
+        return self.hardware.on_syscall(event)

@@ -1,0 +1,29 @@
+"""Hash substrate: CRC-64 generators and the 2-ary cuckoo table."""
+
+from repro.hashing.crc import (
+    CRC64_ECMA,
+    CRC64_NOT_ECMA,
+    ECMA_POLY,
+    NOT_ECMA_POLY,
+    Crc64,
+    hash_pair,
+)
+from repro.hashing.cuckoo import (
+    DEFAULT_MAX_KICKS,
+    CuckooTable,
+    LookupResult,
+    Slot,
+)
+
+__all__ = [
+    "CRC64_ECMA",
+    "CRC64_NOT_ECMA",
+    "ECMA_POLY",
+    "NOT_ECMA_POLY",
+    "Crc64",
+    "hash_pair",
+    "DEFAULT_MAX_KICKS",
+    "CuckooTable",
+    "LookupResult",
+    "Slot",
+]

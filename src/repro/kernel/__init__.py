@@ -1,0 +1,41 @@
+"""OS substrate: checking regimes, processes, syscall-level simulator."""
+
+from repro.kernel.faas import FaaSRunner, FaaSRunStats, compare_deployments
+from repro.kernel.multicore import MultiCoreResult, MultiCoreSystem
+from repro.kernel.process import Process, ProcessKilled
+from repro.kernel.regimes import (
+    CheckingRegime,
+    DracoHwRegime,
+    DracoSwRegime,
+    InsecureRegime,
+    SeccompRegime,
+)
+from repro.kernel.scheduler import (
+    DracoCore,
+    RoundRobinScheduler,
+    ScheduledProcess,
+    ScheduleResult,
+)
+from repro.kernel.simulator import RunResult, mean_check_cycles, run_trace
+
+__all__ = [
+    "FaaSRunner",
+    "FaaSRunStats",
+    "compare_deployments",
+    "MultiCoreResult",
+    "MultiCoreSystem",
+    "Process",
+    "ProcessKilled",
+    "CheckingRegime",
+    "DracoHwRegime",
+    "DracoSwRegime",
+    "InsecureRegime",
+    "SeccompRegime",
+    "DracoCore",
+    "RoundRobinScheduler",
+    "ScheduledProcess",
+    "ScheduleResult",
+    "RunResult",
+    "mean_check_cycles",
+    "run_trace",
+]

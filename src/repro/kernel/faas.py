@@ -1,0 +1,160 @@
+"""Function-as-a-Service invocation lifecycle under Draco.
+
+The paper evaluates FaaS-style functions (grep, pwgen) and motivates
+Draco with serverless runtimes (Firecracker, gVisor).  FaaS stresses
+the one weakness of per-process caching: the VAT is born empty with the
+process, so a **cold** invocation pays filter executions for every
+distinct (syscall, argument set) before the cache warms — and then the
+process exits and the warmth is lost.
+
+This module models both deployment styles:
+
+* ``cold`` — every invocation is a fresh process (fresh VAT, fresh
+  per-core structures): Draco's worst case;
+* ``warm`` — a reused worker process serves all invocations (the warm
+  pools every FaaS platform keeps): Draco's steady state.
+
+The gap between them, as a function of invocation length, shows where
+warm pools stop mattering — short functions are dominated by cold VAT
+misses, long ones amortise them away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.core.hardware import HardwareDraco
+from repro.core.software import build_process_tables
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    DracoHwParams,
+    ProcessorParams,
+    SoftwareCostParams,
+)
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.events import SyscallTrace
+from repro.workloads.startup import startup_events
+
+
+@dataclass(frozen=True)
+class InvocationStats:
+    """Checking cost of one function invocation."""
+
+    index: int
+    syscalls: int
+    check_cycles: float
+    os_validations: int
+
+    @property
+    def mean_check_cycles(self) -> float:
+        return self.check_cycles / self.syscalls if self.syscalls else 0.0
+
+
+@dataclass(frozen=True)
+class FaaSRunStats:
+    mode: str
+    invocations: Tuple[InvocationStats, ...]
+
+    @property
+    def total_check_cycles(self) -> float:
+        return sum(inv.check_cycles for inv in self.invocations)
+
+    @property
+    def mean_check_cycles(self) -> float:
+        syscalls = sum(inv.syscalls for inv in self.invocations)
+        return self.total_check_cycles / syscalls if syscalls else 0.0
+
+    @property
+    def first_vs_steady_ratio(self) -> float:
+        """Cold-start penalty: first invocation vs the rest."""
+        if len(self.invocations) < 2:
+            return 1.0
+        first = self.invocations[0].mean_check_cycles
+        rest = [inv.mean_check_cycles for inv in self.invocations[1:]]
+        steady = sum(rest) / len(rest)
+        return first / steady if steady else 1.0
+
+
+class FaaSRunner:
+    """Run a function's syscall trace repeatedly, cold or warm."""
+
+    def __init__(
+        self,
+        profile: SeccompProfile,
+        processor: ProcessorParams = DEFAULT_PROCESSOR,
+        hw: DracoHwParams = DEFAULT_DRACO_HW,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        include_startup: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.processor = processor
+        self.hw = hw
+        self.costs = costs
+        self.include_startup = include_startup
+
+    def _fresh_pipeline(self) -> HardwareDraco:
+        module = SeccompKernelModule()
+        for program in compile_profile_chunked(self.profile):
+            module.attach(program)
+        return HardwareDraco(
+            build_process_tables(self.profile, table=self.profile.table),
+            module,
+            processor=self.processor,
+            hw=self.hw,
+            costs=self.costs,
+        )
+
+    def _run_invocation(
+        self, pipeline: HardwareDraco, trace: Sequence, index: int
+    ) -> InvocationStats:
+        os_before = pipeline.stats.os_invocations
+        cycles = 0.0
+        count = 0
+        events = list(startup_events())[:-1] if self.include_startup else []
+        events.extend(trace)
+        for event in events:
+            result = pipeline.on_syscall(event)
+            cycles += result.stall_cycles
+            count += 1
+        return InvocationStats(
+            index=index,
+            syscalls=count,
+            check_cycles=cycles,
+            os_validations=pipeline.stats.os_invocations - os_before,
+        )
+
+    def run(
+        self, trace: SyscallTrace, invocations: int, mode: str = "warm"
+    ) -> FaaSRunStats:
+        """Execute *invocations* runs of the function trace."""
+        if invocations < 1:
+            raise ConfigError("need at least one invocation")
+        if mode not in ("warm", "cold"):
+            raise ConfigError("mode must be 'warm' or 'cold'")
+        stats = []
+        pipeline: Optional[HardwareDraco] = None
+        for index in range(invocations):
+            if mode == "cold" or pipeline is None:
+                pipeline = self._fresh_pipeline()
+            stats.append(self._run_invocation(pipeline, trace, index))
+        return FaaSRunStats(mode=mode, invocations=tuple(stats))
+
+
+def compare_deployments(
+    profile: SeccompProfile,
+    trace: SyscallTrace,
+    invocations: int = 8,
+    **runner_kwargs,
+) -> Dict[str, FaaSRunStats]:
+    """Run the same function cold and warm; returns both stat sets."""
+    runner = FaaSRunner(profile, **runner_kwargs)
+    return {
+        "cold": runner.run(trace, invocations, mode="cold"),
+        "warm": runner.run(trace, invocations, mode="warm"),
+    }

@@ -1,0 +1,134 @@
+"""Multicore system model: Table II's 10-core chip running many tenants.
+
+Each core owns private L1/L2 caches and its own Draco structures
+(Figure 10); all cores share the L3.  Processes are assigned to cores
+and time-share them under round-robin quanta; the system interleaves
+quanta across cores so shared-L3 interference between tenants on
+different cores is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    DracoHwParams,
+    ProcessorParams,
+    SoftwareCostParams,
+)
+from repro.kernel.scheduler import DracoCore, ScheduledProcess
+
+
+@dataclass(frozen=True)
+class MultiCoreResult:
+    """System-wide outcome of a multicore run."""
+
+    per_process: Dict[str, float]       # mean check (stall) cycles
+    per_core_switches: Tuple[int, ...]
+    total_syscalls: int
+    l3_hit_rate: float
+
+
+class MultiCoreSystem:
+    """N Draco cores with private L1/L2 and a shared L3."""
+
+    def __init__(
+        self,
+        cores: Optional[int] = None,
+        processor: ProcessorParams = DEFAULT_PROCESSOR,
+        hw: DracoHwParams = DEFAULT_DRACO_HW,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        quantum_syscalls: int = 200,
+    ) -> None:
+        num_cores = cores if cores is not None else processor.cores
+        if num_cores < 1:
+            raise ConfigError("need at least one core")
+        if quantum_syscalls < 1:
+            raise ConfigError("quantum must be at least one syscall")
+        self.processor = processor
+        self.quantum = quantum_syscalls
+        self.shared_l3 = SetAssociativeCache(processor.l3)
+        self.cores: List[DracoCore] = []
+        for _ in range(num_cores):
+            core = DracoCore(processor=processor, hw=hw, costs=costs)
+            core.hierarchy = MemoryHierarchy(processor, shared_l3=self.shared_l3)
+            self.cores.append(core)
+        self._run_queues: List[List[ScheduledProcess]] = [[] for _ in range(num_cores)]
+
+    # -- placement -------------------------------------------------------
+
+    def assign(self, process: ScheduledProcess, core: Optional[int] = None) -> int:
+        """Place a process on a core (least-loaded when unspecified)."""
+        for queue in self._run_queues:
+            if any(p.name == process.name for p in queue):
+                raise ConfigError(f"duplicate process name {process.name!r}")
+        if core is None:
+            core = min(range(len(self.cores)), key=lambda i: len(self._run_queues[i]))
+        if not 0 <= core < len(self.cores):
+            raise ConfigError(f"no core {core}")
+        self._run_queues[core].append(process)
+        return core
+
+    @property
+    def processes(self) -> Tuple[ScheduledProcess, ...]:
+        return tuple(p for queue in self._run_queues for p in queue)
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_quantum(self, core: DracoCore, process: ScheduledProcess, strict: bool) -> int:
+        pipeline = core.schedule(process)
+        end = min(process.cursor + self.quantum, len(process.trace))
+        executed = 0
+        while process.cursor < end:
+            event = process.trace[process.cursor]
+            result = pipeline.on_syscall(event)
+            if strict and not result.allowed:
+                raise SimulationError(
+                    f"{process.name}: denied syscall {event.sid} {event.args}"
+                )
+            process.check_cycles += result.stall_cycles
+            process.syscalls_run += 1
+            process.cursor += 1
+            executed += 1
+            core.hierarchy.pollute(int(process.work_cycles_per_syscall))
+        return executed
+
+    def run(self, strict: bool = True) -> MultiCoreResult:
+        """Interleave quanta round-robin across cores until all traces
+        complete."""
+        if not any(self._run_queues):
+            raise ConfigError("no processes assigned")
+        total = 0
+        cursors = [0] * len(self.cores)  # per-core round-robin position
+        while any(not p.done for p in self.processes):
+            progressed = False
+            for core_index, core in enumerate(self.cores):
+                queue = self._run_queues[core_index]
+                if not queue:
+                    continue
+                # Pick this core's next runnable process, round-robin.
+                for offset in range(len(queue)):
+                    candidate = queue[(cursors[core_index] + offset) % len(queue)]
+                    if not candidate.done:
+                        cursors[core_index] = (
+                            cursors[core_index] + offset + 1
+                        ) % len(queue)
+                        total += self._run_quantum(core, candidate, strict)
+                        progressed = True
+                        break
+            if not progressed:  # pragma: no cover - loop guard
+                break
+        l3_total = self.shared_l3.hits + self.shared_l3.misses
+        return MultiCoreResult(
+            per_process={p.name: p.mean_check_cycles for p in self.processes},
+            per_core_switches=tuple(core.context_switches for core in self.cores),
+            total_syscalls=total,
+            l3_hit_rate=self.shared_l3.hits / l3_total if l3_total else 0.0,
+        )

@@ -1,0 +1,81 @@
+"""Process abstraction: a sandboxed application under one regime.
+
+Bundles what the kernel tracks per process — the Seccomp profile, the
+attached filters, and (under Draco) the SPT/VAT state — and exposes the
+container-runtime workflow: create a process from a profile, deliver
+syscalls, observe kills.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.software import CheckOutcome
+from repro.kernel.regimes import CheckingRegime, InsecureRegime
+from repro.seccomp.actions import (
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_KILL_THREAD,
+    action_of,
+)
+from repro.syscalls.events import SyscallEvent
+
+_pids = itertools.count(1000)
+
+
+class ProcessKilled(Exception):
+    """Raised when a denied syscall terminates the process
+    (SECCOMP_RET_KILL_PROCESS semantics)."""
+
+    def __init__(self, pid: int, event: SyscallEvent) -> None:
+        super().__init__(f"pid {pid} killed on syscall {event.sid} args {event.args}")
+        self.pid = pid
+        self.event = event
+
+
+@dataclass
+class Process:
+    """A user process checked by a :class:`CheckingRegime`."""
+
+    name: str
+    regime: CheckingRegime = field(default_factory=InsecureRegime)
+    pid: int = field(default_factory=lambda: next(_pids))
+    alive: bool = True
+    syscalls_issued: int = 0
+    syscalls_denied: int = 0
+    check_cycles: float = 0.0
+    kill_on_deny: bool = True
+
+    def syscall(self, event: SyscallEvent) -> CheckOutcome:
+        """Issue one syscall through the checking regime."""
+        if not self.alive:
+            raise ProcessKilled(self.pid, event)
+        outcome = self.regime.check(event)
+        self.syscalls_issued += 1
+        self.check_cycles += outcome.cycles
+        if not outcome.allowed:
+            self.syscalls_denied += 1
+            if self.kill_on_deny and self._is_fatal(outcome):
+                self.alive = False
+                raise ProcessKilled(self.pid, event)
+        return outcome
+
+    @staticmethod
+    def _is_fatal(outcome: CheckOutcome) -> bool:
+        """seccomp semantics: only the KILL actions terminate; an ERRNO
+        denial returns -errno to the caller and the process lives."""
+        if outcome.action is None:
+            return True  # regime gave no disposition: conservative kill
+        action = action_of(outcome.action)
+        return action in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD)
+
+    def run(self, events, work_cycles_per_syscall: float = 0.0) -> Tuple[int, float]:
+        """Issue a stream of syscalls; returns (#issued, check cycles)."""
+        issued_before = self.syscalls_issued
+        cycles_before = self.check_cycles
+        for event in events:
+            self.syscall(event)
+            if work_cycles_per_syscall:
+                self.regime.advance(work_cycles_per_syscall)
+        return self.syscalls_issued - issued_before, self.check_cycles - cycles_before

@@ -1,0 +1,197 @@
+"""System-call checking regimes — the OS entry-point variants.
+
+A regime is what sits at the kernel's syscall entry point and decides,
+per syscall, whether it may proceed and how many cycles the decision
+cost.  The paper evaluates four families:
+
+* **insecure** — Seccomp disabled, no checking;
+* **seccomp** — conventional filter execution (linear or binary-tree
+  compiled, JIT'd or interpreted, attached 1x or 2x);
+* **draco-sw** — the Section V-C kernel component (SPT + VAT cache in
+  front of the filter);
+* **draco-hw** — the Section VI microarchitecture (SPT + SLB + STB +
+  Temporary Buffer), where the only visible cost is ROB-head stall.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.hardware import HardwareDraco
+from repro.core.software import CheckOutcome, SoftwareDraco, build_process_tables
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    DracoHwParams,
+    ProcessorParams,
+    SoftwareCostParams,
+)
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.events import SyscallEvent
+
+
+class CheckingRegime(abc.ABC):
+    """One syscall-checking configuration under test."""
+
+    name: str
+
+    @abc.abstractmethod
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        """Check one syscall; returns permission and cycle cost."""
+
+    def advance(self, work_cycles: float) -> None:
+        """Account for *work_cycles* of application execution between
+        syscalls (cache pollution, context-switch clocks)."""
+
+    def on_context_switch(self) -> None:
+        """The scheduler preempted this process and later resumed it."""
+
+
+class InsecureRegime(CheckingRegime):
+    """Seccomp disabled — the paper's normalisation baseline."""
+
+    def __init__(self) -> None:
+        self.name = "insecure"
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        return CheckOutcome(allowed=True, cycles=0.0, path="none")
+
+
+def _attach(
+    profile: SeccompProfile, times: int, compiler: str
+) -> SeccompKernelModule:
+    module = SeccompKernelModule()
+    programs = compile_profile_chunked(profile, strategy=compiler)
+    for index in range(times):
+        for chunk, program in enumerate(programs):
+            module.attach(program, name=f"{profile.name}#{index}.{chunk}")
+    return module
+
+
+class SeccompRegime(CheckingRegime):
+    """Conventional Seccomp checking (Figure 1)."""
+
+    def __init__(
+        self,
+        profile: SeccompProfile,
+        times: int = 1,
+        compiler: str = "linear",
+        use_jit: bool = True,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or f"seccomp:{profile.name}" + ("" if times == 1 else f"x{times}")
+        self.profile = profile
+        self.costs = costs
+        self.use_jit = use_jit
+        self.module = _attach(profile, times, compiler)
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        decision = self.module.check(event)
+        per_insn = (
+            self.costs.cycles_per_bpf_insn_jit
+            if self.use_jit
+            else self.costs.cycles_per_bpf_insn_interpreted
+        )
+        cycles = (
+            self.costs.seccomp_slow_path_cycles
+            + self.costs.seccomp_fixed_cycles
+            + decision.instructions_executed * per_insn
+        )
+        return CheckOutcome(
+            allowed=decision.allowed,
+            cycles=cycles,
+            path="filter_run" if decision.allowed else "denied",
+            action=decision.return_value,
+        )
+
+
+class DracoSwRegime(CheckingRegime):
+    """Software Draco (Section V-C) in front of the Seccomp filter."""
+
+    def __init__(
+        self,
+        profile: SeccompProfile,
+        times: int = 1,
+        compiler: str = "linear",
+        use_jit: bool = True,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or f"draco-sw:{profile.name}" + ("" if times == 1 else f"x{times}")
+        self.profile = profile
+        tables = build_process_tables(profile, table=profile.table)
+        self.draco = SoftwareDraco(
+            tables, _attach(profile, times, compiler), costs=costs, use_jit=use_jit
+        )
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        return self.draco.check(event)
+
+    @property
+    def stats(self):
+        return self.draco.stats
+
+
+class DracoHwRegime(CheckingRegime):
+    """Hardware Draco (Section VI); checking cost is ROB-head stall."""
+
+    def __init__(
+        self,
+        profile: SeccompProfile,
+        times: int = 1,
+        compiler: str = "linear",
+        use_jit: bool = True,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        processor: ProcessorParams = DEFAULT_PROCESSOR,
+        hw: DracoHwParams = DEFAULT_DRACO_HW,
+        preload_enabled: bool = True,
+        context_switch_interval_cycles: Optional[float] = 4_000_000.0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or f"draco-hw:{profile.name}" + ("" if times == 1 else f"x{times}")
+        self.profile = profile
+        tables = build_process_tables(profile, table=profile.table)
+        self.hierarchy = MemoryHierarchy(processor)
+        self.draco = HardwareDraco(
+            tables,
+            _attach(profile, times, compiler),
+            processor=processor,
+            hw=hw,
+            costs=costs,
+            hierarchy=self.hierarchy,
+            preload_enabled=preload_enabled,
+            use_jit=use_jit,
+        )
+        self._cs_interval = context_switch_interval_cycles
+        self._cycles_since_switch = 0.0
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        result = self.draco.on_syscall(event)
+        path = "hw:" + result.flow.value
+        return CheckOutcome(allowed=result.allowed, cycles=result.stall_cycles, path=path)
+
+    def advance(self, work_cycles: float) -> None:
+        self.hierarchy.pollute(int(work_cycles))
+        if self._cs_interval is None:
+            return
+        self._cycles_since_switch += work_cycles
+        if self._cycles_since_switch >= self._cs_interval:
+            self._cycles_since_switch = 0.0
+            self.on_context_switch()
+
+    def on_context_switch(self) -> None:
+        """Quantum expired: another process runs, then we resume."""
+        self.draco.context_switch(same_process=False)
+        # The other process evicts a sizeable chunk of our cache state.
+        self.hierarchy.pollute(500_000)
+        self.draco.resume_process()
+
+    @property
+    def stats(self):
+        return self.draco.stats

@@ -1,0 +1,167 @@
+"""Multi-process scheduling over Draco-equipped cores.
+
+Exercises the context-switch machinery of Section VII-B under realistic
+conditions: several sandboxed processes time-share a core, each switch
+invalidating the per-core Draco structures (and saving/restoring the
+Accessed-bit SPT entries), while each process keeps its own VAT.
+
+The scheduler interleaves the processes' syscall streams round-robin in
+quantum-sized slices and reports per-process checking cost, so the
+cost of multi-tenancy (cold SLB/STB after each resume) is measurable
+against the single-tenant numbers of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.core.hardware import HardwareDraco
+from repro.core.software import build_process_tables
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    DracoHwParams,
+    ProcessorParams,
+    SoftwareCostParams,
+)
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.events import SyscallTrace
+
+
+@dataclass
+class ScheduledProcess:
+    """One tenant: its profile, trace, and per-syscall application work."""
+
+    name: str
+    profile: SeccompProfile
+    trace: SyscallTrace
+    work_cycles_per_syscall: float
+    # Filled by the scheduler:
+    cursor: int = 0
+    check_cycles: float = 0.0
+    syscalls_run: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.trace)
+
+    @property
+    def mean_check_cycles(self) -> float:
+        return self.check_cycles / self.syscalls_run if self.syscalls_run else 0.0
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one multi-tenant run on one core."""
+
+    per_process: Dict[str, float]          # mean check cycles
+    context_switches: int
+    total_syscalls: int
+
+
+class DracoCore:
+    """One core: a single set of Draco hardware structures, re-bound to
+    whichever process is currently scheduled."""
+
+    def __init__(
+        self,
+        processor: ProcessorParams = DEFAULT_PROCESSOR,
+        hw: DracoHwParams = DEFAULT_DRACO_HW,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+    ) -> None:
+        self.processor = processor
+        self.hw = hw
+        self.costs = costs
+        self.hierarchy = MemoryHierarchy(processor)
+        self._pipelines: Dict[str, HardwareDraco] = {}
+        self._current: Optional[str] = None
+        self.context_switches = 0
+
+    def _pipeline_for(self, process: ScheduledProcess) -> HardwareDraco:
+        pipeline = self._pipelines.get(process.name)
+        if pipeline is None:
+            module = SeccompKernelModule()
+            for program in compile_profile_chunked(process.profile):
+                module.attach(program)
+            pipeline = HardwareDraco(
+                build_process_tables(process.profile, table=process.profile.table),
+                module,
+                processor=self.processor,
+                hw=self.hw,
+                costs=self.costs,
+                hierarchy=self.hierarchy,  # the cache hierarchy is shared
+            )
+            self._pipelines[process.name] = pipeline
+        return pipeline
+
+    def schedule(self, process: ScheduledProcess) -> HardwareDraco:
+        """Make *process* current; models the Section VII-B switch."""
+        if self._current == process.name:
+            return self._pipelines[process.name]
+        if self._current is not None:
+            # The outgoing process's per-core state is invalidated (its
+            # Accessed-bit SPT entries saved), and it will be restored
+            # when it runs again.
+            outgoing = self._pipelines[self._current]
+            outgoing.context_switch(same_process=False)
+            self.context_switches += 1
+        pipeline = self._pipeline_for(process)
+        pipeline.resume_process()
+        self._current = process.name
+        return pipeline
+
+
+class RoundRobinScheduler:
+    """Round-robin multi-tenancy on one Draco core."""
+
+    def __init__(
+        self,
+        processes: Sequence[ScheduledProcess],
+        quantum_syscalls: int = 200,
+        core: Optional[DracoCore] = None,
+    ) -> None:
+        if not processes:
+            raise ConfigError("need at least one process")
+        if quantum_syscalls < 1:
+            raise ConfigError("quantum must be at least one syscall")
+        names = [p.name for p in processes]
+        if len(names) != len(set(names)):
+            raise ConfigError("process names must be unique")
+        self.processes = list(processes)
+        self.quantum = quantum_syscalls
+        self.core = core if core is not None else DracoCore()
+
+    def run(self, strict: bool = True) -> ScheduleResult:
+        """Interleave every process's trace to completion."""
+        total = 0
+        while any(not p.done for p in self.processes):
+            for process in self.processes:
+                if process.done:
+                    continue
+                pipeline = self.core.schedule(process)
+                end = min(process.cursor + self.quantum, len(process.trace))
+                while process.cursor < end:
+                    event = process.trace[process.cursor]
+                    result = pipeline.on_syscall(event)
+                    if strict and not result.allowed:
+                        raise SimulationError(
+                            f"{process.name}: denied syscall {event.sid} {event.args}"
+                        )
+                    process.check_cycles += result.stall_cycles
+                    process.syscalls_run += 1
+                    process.cursor += 1
+                    total += 1
+                    self.core.hierarchy.pollute(
+                        int(process.work_cycles_per_syscall)
+                    )
+        return ScheduleResult(
+            per_process={p.name: p.mean_check_cycles for p in self.processes},
+            context_switches=self.core.context_switches,
+            total_syscalls=total,
+        )

@@ -1,0 +1,110 @@
+"""Syscall-level execution simulator.
+
+Drives a workload trace through a checking regime and produces the
+paper's headline metric: execution time normalised to the insecure
+baseline.  The model is::
+
+    time_insecure  = N * (W + S)
+    time_regime    = N * (W + S) + sum(check_cycles)
+    normalised     = time_regime / time_insecure
+
+where ``W`` is the workload's application work per syscall (calibrated
+once against the paper's Figure 2 Seccomp bars — see
+``repro.experiments.runner``) and ``S`` the base syscall cost.
+
+A warm-up fraction is excluded from the measured statistics, mirroring
+the paper's methodology of warming architectural state before measuring
+(Section X-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.errors import SimulationError
+from repro.kernel.regimes import CheckingRegime
+from repro.syscalls.events import SyscallTrace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measured outcome of one (workload, regime) simulation."""
+
+    workload: str
+    regime: str
+    events_measured: int
+    work_cycles_per_syscall: float
+    syscall_base_cycles: float
+    mean_check_cycles: float
+    normalized_time: float
+    path_counts: Dict[str, int]
+
+    @property
+    def overhead_percent(self) -> float:
+        return (self.normalized_time - 1.0) * 100.0
+
+
+def run_trace(
+    trace: SyscallTrace,
+    regime: CheckingRegime,
+    work_cycles_per_syscall: float,
+    syscall_base_cycles: float,
+    workload_name: str = "",
+    warmup_fraction: float = 0.4,
+    strict: bool = True,
+) -> RunResult:
+    """Execute *trace* under *regime* and compute normalised time."""
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise SimulationError("warmup_fraction must be within [0, 1)")
+    n = len(trace)
+    if n == 0:
+        raise SimulationError("empty trace")
+    warmup = int(n * warmup_fraction)
+
+    total_check = 0.0
+    measured = 0
+    paths: Dict[str, int] = {}
+    for index, event in enumerate(trace):
+        outcome = regime.check(event)
+        if strict and not outcome.allowed:
+            raise SimulationError(
+                f"{regime.name} denied {event.sid} {event.args} — the profile "
+                "does not cover the workload (coverage bug)"
+            )
+        regime.advance(work_cycles_per_syscall)
+        if index >= warmup:
+            total_check += outcome.cycles
+            measured += 1
+            paths[outcome.path] = paths.get(outcome.path, 0) + 1
+
+    mean_check = total_check / measured if measured else 0.0
+    baseline = work_cycles_per_syscall + syscall_base_cycles
+    normalized = (baseline + mean_check) / baseline
+    return RunResult(
+        workload=workload_name,
+        regime=regime.name,
+        events_measured=measured,
+        work_cycles_per_syscall=work_cycles_per_syscall,
+        syscall_base_cycles=syscall_base_cycles,
+        mean_check_cycles=mean_check,
+        normalized_time=normalized,
+        path_counts=paths,
+    )
+
+
+def mean_check_cycles(
+    trace: SyscallTrace,
+    regime: CheckingRegime,
+    warmup_fraction: float = 0.2,
+    work_cycles_per_syscall: float = 0.0,
+) -> float:
+    """Steady-state mean checking cost of *regime* over *trace*."""
+    result = run_trace(
+        trace,
+        regime,
+        work_cycles_per_syscall=max(work_cycles_per_syscall, 1.0),
+        syscall_base_cycles=1.0,
+        warmup_fraction=warmup_fraction,
+    )
+    return result.mean_check_cycles

@@ -1,0 +1,11 @@
+"""Other OSes' checking mechanisms (Section II-B / VIII generality)."""
+
+from repro.os_models.pledge import PROMISES, PledgePolicy
+from repro.os_models.windows import SYSCALL_CLASSES, SystemCallDisablePolicy
+
+__all__ = [
+    "PROMISES",
+    "PledgePolicy",
+    "SYSCALL_CLASSES",
+    "SystemCallDisablePolicy",
+]

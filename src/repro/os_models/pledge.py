@@ -1,0 +1,108 @@
+"""OpenBSD ``pledge(2)`` as a checking policy.
+
+Section II-B: "System call checking is also used by other modern OSes,
+such as OpenBSD with Pledge and Tame ... The idea behind our proposal,
+Draco, can be applied to all of them."
+
+Pledge restricts a process to *promise* categories ("stdio", "rpath",
+"inet", ...), each unlocking a group of kernel operations.  We model
+the mechanism over our Linux x86-64 table (OpenBSD's own syscall
+numbers differ; the policy structure is what matters): a
+:class:`PledgePolicy` maps promises to syscall groups and converts to a
+:class:`SeccompProfile`, after which every Draco regime — software or
+hardware — accelerates it unchanged, because pledge decisions are
+stateless in (SID, argument set) just like Seccomp filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.common.errors import ProfileError
+from repro.seccomp.profile import SeccompProfile, SyscallRule
+from repro.syscalls.events import SyscallEvent
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+#: Promise -> syscall names (subset present in our table).  Modeled on
+#: OpenBSD's pledge(2) groups, translated to Linux equivalents.
+PROMISES: Dict[str, Tuple[str, ...]] = {
+    "stdio": (
+        "read", "write", "readv", "writev", "close", "fstat", "lseek",
+        "dup", "dup2", "dup3", "fcntl", "pipe", "pipe2", "mmap", "munmap",
+        "mprotect", "brk", "poll", "select", "nanosleep", "getpid",
+        "getppid", "getuid", "geteuid", "getgid", "getegid", "gettid",
+        "clock_gettime", "clock_getres", "gettimeofday", "exit",
+        "exit_group", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn",
+        "sigaltstack", "umask", "madvise", "getrandom", "futex",
+        "sched_yield", "set_robust_list", "membarrier",
+    ),
+    "rpath": (
+        "open", "openat", "stat", "lstat", "newfstatat", "access",
+        "faccessat", "readlink", "readlinkat", "getdents64", "getcwd",
+        "chdir", "fchdir", "statfs", "fstatfs",
+    ),
+    "wpath": ("open", "openat", "truncate", "ftruncate", "utimensat", "utimes"),
+    "cpath": (
+        "open", "openat", "mkdir", "mkdirat", "rmdir", "rename",
+        "renameat", "link", "linkat", "symlink", "symlinkat", "unlink",
+        "unlinkat",
+    ),
+    "fattr": ("chmod", "fchmod", "fchmodat", "chown", "fchown", "fchownat", "utimes", "utimensat"),
+    "inet": (
+        "socket", "connect", "bind", "listen", "accept", "accept4",
+        "sendto", "recvfrom", "sendmsg", "recvmsg", "shutdown",
+        "getsockname", "getpeername", "setsockopt", "getsockopt",
+    ),
+    "unix": (
+        "socket", "connect", "bind", "listen", "accept", "accept4",
+        "sendto", "recvfrom", "sendmsg", "recvmsg", "socketpair",
+    ),
+    "proc": ("fork", "vfork", "clone", "wait4", "kill", "setpgid", "getpgid", "setsid", "getsid"),
+    "exec": ("execve", "execveat",),
+    "id": ("setuid", "setgid", "setreuid", "setregid", "setresuid", "setresgid", "setgroups"),
+    "flock": ("flock",),
+    "tmppath": ("open", "openat", "unlink", "unlinkat"),
+}
+
+
+@dataclass(frozen=True)
+class PledgePolicy:
+    """An immutable set of granted promises."""
+
+    promises: FrozenSet[str]
+    table: SyscallTable = LINUX_X86_64
+
+    def __post_init__(self) -> None:
+        unknown = self.promises - set(PROMISES)
+        if unknown:
+            raise ProfileError(f"unknown pledge promises: {sorted(unknown)}")
+
+    @classmethod
+    def of(cls, *promises: str, table: SyscallTable = LINUX_X86_64) -> "PledgePolicy":
+        return cls(promises=frozenset(promises), table=table)
+
+    @property
+    def allowed_names(self) -> FrozenSet[str]:
+        names = set()
+        for promise in self.promises:
+            names.update(n for n in PROMISES[promise] if n in self.table)
+        return frozenset(names)
+
+    def allows(self, event: SyscallEvent) -> bool:
+        return self.table.by_sid(event.sid).name in self.allowed_names
+
+    def shrink(self, *dropped: str) -> "PledgePolicy":
+        """pledge(2) semantics: promises can only ever be dropped."""
+        remaining = self.promises - set(dropped)
+        return PledgePolicy(promises=remaining, table=self.table)
+
+    def to_profile(self, name: str = "pledge") -> SeccompProfile:
+        """Express the policy as a whitelist profile, so all Draco
+        regimes (and filter compilers) apply to pledge unchanged."""
+        rules = [
+            SyscallRule(sid=self.table.by_name(sys_name).sid)
+            for sys_name in sorted(self.allowed_names)
+        ]
+        label = "+".join(sorted(self.promises)) or "none"
+        return SeccompProfile(f"{name}:{label}", rules, table=self.table)

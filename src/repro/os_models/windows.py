@@ -1,0 +1,75 @@
+"""Windows System Call Disable Policy as a checking policy.
+
+Section II-B lists Windows' ``PROCESS_MITIGATION_SYSTEM_CALL_DISABLE_
+POLICY`` among the checking mechanisms Draco applies to.  The real
+policy is a single bit — ``DisallowWin32kSystemCalls`` — that blocks
+the win32k.sys (GUI) syscall class for a process.
+
+We model the mechanism over class-partitioned syscall tables: a policy
+holds per-class disable bits and converts to a whitelist profile over
+the classes left enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.common.errors import ProfileError
+from repro.seccomp.profile import SeccompProfile, SyscallRule
+from repro.syscalls.events import SyscallEvent
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+#: Syscall classes a disable policy can turn off wholesale.  The win32k
+#: analogue in our Linux-table model groups device/GUI-adjacent calls;
+#: the structure (class bit -> whole group) is what matters.
+SYSCALL_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "gui": ("ioctl", "mmap", "mremap", "msync"),
+    "filesystem": (
+        "open", "openat", "creat", "unlink", "unlinkat", "rename",
+        "renameat", "mkdir", "rmdir", "truncate", "ftruncate",
+    ),
+    "network": (
+        "socket", "connect", "bind", "listen", "accept", "accept4",
+        "sendto", "recvfrom", "sendmsg", "recvmsg",
+    ),
+    "process": ("fork", "vfork", "clone", "execve", "kill", "ptrace"),
+}
+
+
+@dataclass(frozen=True)
+class SystemCallDisablePolicy:
+    """Per-class disable bits (DisallowWin32kSystemCalls generalised)."""
+
+    disabled_classes: FrozenSet[str] = frozenset()
+    table: SyscallTable = LINUX_X86_64
+
+    def __post_init__(self) -> None:
+        unknown = self.disabled_classes - set(SYSCALL_CLASSES)
+        if unknown:
+            raise ProfileError(f"unknown syscall classes: {sorted(unknown)}")
+
+    @classmethod
+    def disallow(cls, *classes: str, table: SyscallTable = LINUX_X86_64):
+        return cls(disabled_classes=frozenset(classes), table=table)
+
+    @property
+    def disabled_names(self) -> FrozenSet[str]:
+        names = set()
+        for cls_name in self.disabled_classes:
+            names.update(SYSCALL_CLASSES[cls_name])
+        return frozenset(names)
+
+    def allows(self, event: SyscallEvent) -> bool:
+        return self.table.by_sid(event.sid).name not in self.disabled_names
+
+    def to_profile(self, name: str = "win-scdp") -> SeccompProfile:
+        """Whitelist of everything outside the disabled classes."""
+        disabled = self.disabled_names
+        rules = [
+            SyscallRule(sid=entry.sid)
+            for entry in self.table
+            if entry.name not in disabled
+        ]
+        label = ",".join(sorted(self.disabled_classes)) or "none"
+        return SeccompProfile(f"{name}[{label}]", rules, table=self.table)

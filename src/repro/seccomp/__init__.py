@@ -1,0 +1,85 @@
+"""Seccomp substrate: actions, profiles, filter compilers, kernel engine."""
+
+from repro.seccomp.actions import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_KILL_THREAD,
+    SECCOMP_RET_LOG,
+    SECCOMP_RET_TRACE,
+    SECCOMP_RET_TRAP,
+    action_name,
+    action_of,
+    errno_action,
+    is_allow,
+    most_restrictive,
+)
+from repro.seccomp.compiler import (
+    COMPILERS,
+    compile_binary_tree,
+    compile_linear,
+    compile_profile,
+)
+# NOTE: repro.seccomp.bitmap_cache sits above repro.core (it wraps a
+# checking regime); import it directly to avoid a package cycle.
+from repro.seccomp.engine import AttachedFilter, SeccompDecision, SeccompKernelModule
+from repro.seccomp.json_io import (
+    profile_from_dict,
+    profile_from_json,
+    profile_to_dict,
+    profile_to_json,
+)
+from repro.seccomp.profile import (
+    ArgCmp,
+    ArgSetRule,
+    CmpOp,
+    SeccompProfile,
+    SyscallRule,
+)
+from repro.seccomp.profiles import build_docker_default, build_firecracker, build_gvisor
+from repro.seccomp.toolkit import (
+    ProfileBundle,
+    generate_bundle,
+    generate_complete,
+    generate_noargs,
+    observed_argument_sets,
+)
+
+__all__ = [
+    "SECCOMP_RET_ALLOW",
+    "SECCOMP_RET_ERRNO",
+    "SECCOMP_RET_KILL_PROCESS",
+    "SECCOMP_RET_KILL_THREAD",
+    "SECCOMP_RET_LOG",
+    "SECCOMP_RET_TRACE",
+    "SECCOMP_RET_TRAP",
+    "action_name",
+    "action_of",
+    "errno_action",
+    "is_allow",
+    "most_restrictive",
+    "COMPILERS",
+    "compile_binary_tree",
+    "compile_linear",
+    "compile_profile",
+    "AttachedFilter",
+    "SeccompDecision",
+    "SeccompKernelModule",
+    "profile_from_dict",
+    "profile_from_json",
+    "profile_to_dict",
+    "profile_to_json",
+    "ArgCmp",
+    "ArgSetRule",
+    "CmpOp",
+    "SeccompProfile",
+    "SyscallRule",
+    "build_docker_default",
+    "build_firecracker",
+    "build_gvisor",
+    "ProfileBundle",
+    "generate_bundle",
+    "generate_complete",
+    "generate_noargs",
+    "observed_argument_sets",
+]

@@ -1,0 +1,80 @@
+"""Seccomp filter return actions, as defined by ``<linux/seccomp.h>``.
+
+A filter returns a 32-bit value whose high half selects the action and
+whose low half carries action-specific data (e.g. the errno for
+``SECCOMP_RET_ERRNO``).  When multiple filters are attached, the kernel
+keeps the *most restrictive* result, which is the lowest action value in
+the precedence order below.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+SECCOMP_RET_KILL_PROCESS = 0x80000000
+SECCOMP_RET_KILL_THREAD = 0x00000000
+SECCOMP_RET_TRAP = 0x00030000
+SECCOMP_RET_ERRNO = 0x00050000
+SECCOMP_RET_USER_NOTIF = 0x7FC00000
+SECCOMP_RET_TRACE = 0x7FF00000
+SECCOMP_RET_LOG = 0x7FFC0000
+SECCOMP_RET_ALLOW = 0x7FFF0000
+
+SECCOMP_RET_ACTION_FULL = 0xFFFF0000
+SECCOMP_RET_DATA = 0x0000FFFF
+
+#: Most-restrictive-first precedence (seccomp(2) man page).
+ACTION_PRECEDENCE: Tuple[int, ...] = (
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_KILL_THREAD,
+    SECCOMP_RET_TRAP,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_USER_NOTIF,
+    SECCOMP_RET_TRACE,
+    SECCOMP_RET_LOG,
+    SECCOMP_RET_ALLOW,
+)
+
+_ACTION_NAMES = {
+    SECCOMP_RET_KILL_PROCESS: "SECCOMP_RET_KILL_PROCESS",
+    SECCOMP_RET_KILL_THREAD: "SECCOMP_RET_KILL_THREAD",
+    SECCOMP_RET_TRAP: "SECCOMP_RET_TRAP",
+    SECCOMP_RET_ERRNO: "SECCOMP_RET_ERRNO",
+    SECCOMP_RET_USER_NOTIF: "SECCOMP_RET_USER_NOTIF",
+    SECCOMP_RET_TRACE: "SECCOMP_RET_TRACE",
+    SECCOMP_RET_LOG: "SECCOMP_RET_LOG",
+    SECCOMP_RET_ALLOW: "SECCOMP_RET_ALLOW",
+}
+
+
+def action_of(return_value: int) -> int:
+    """Strip the data half, keeping only the action selector."""
+    return return_value & SECCOMP_RET_ACTION_FULL
+
+
+def data_of(return_value: int) -> int:
+    """The action-specific data half (e.g. errno value)."""
+    return return_value & SECCOMP_RET_DATA
+
+
+def action_name(return_value: int) -> str:
+    return _ACTION_NAMES.get(action_of(return_value), f"0x{action_of(return_value):08x}")
+
+
+def is_allow(return_value: int) -> bool:
+    return action_of(return_value) == SECCOMP_RET_ALLOW
+
+
+def most_restrictive(a: int, b: int) -> int:
+    """Combine two filter results the way the kernel stacks filters."""
+    rank = {action: i for i, action in enumerate(ACTION_PRECEDENCE)}
+    ra = rank.get(action_of(a), len(ACTION_PRECEDENCE))
+    rb = rank.get(action_of(b), len(ACTION_PRECEDENCE))
+    return a if ra <= rb else b
+
+
+def errno_action(errno: int) -> int:
+    """Build a ``SECCOMP_RET_ERRNO`` return value carrying *errno*."""
+    if not 0 <= errno <= SECCOMP_RET_DATA:
+        raise ValueError("errno must fit in 16 bits")
+    return SECCOMP_RET_ERRNO | errno

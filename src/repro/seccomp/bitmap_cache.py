@@ -1,0 +1,132 @@
+"""The Linux seccomp action-cache bitmap — the paper's upstream legacy.
+
+Linux 5.11 added a per-filter bitmap (``SECCOMP_ARCH_NATIVE``) marking
+syscall numbers whose filter result is *always allow*, regardless of
+argument values; those syscalls skip filter execution.  The feature was
+motivated by the same locality observation as Draco, but it caches only
+argument-**independent** allows: any syscall whose verdict depends on
+arguments still runs the full filter every time.
+
+This module builds the bitmap exactly as the kernel does — by emulating
+the filter per syscall number with unknown arguments
+(:mod:`repro.bpf.abstract`) — and exposes it as a checking regime, so
+the Draco-vs-bitmap comparison the paper implies can be measured:
+
+* on ``syscall-noargs``-style profiles, the bitmap is as good as Draco;
+* on ``syscall-complete`` profiles, the bitmap degenerates to plain
+  Seccomp while Draco's VAT keeps caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.bpf.abstract import constant_action_for
+from repro.core.software import CheckOutcome
+from repro.cpu.params import DEFAULT_SW_COSTS, SoftwareCostParams
+from repro.kernel.regimes import CheckingRegime, _attach
+from repro.seccomp.actions import SECCOMP_RET_ALLOW, action_of
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile
+from repro.syscalls.events import SyscallEvent
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+
+@dataclass(frozen=True)
+class BitmapStats:
+    cacheable_syscalls: int
+    checked_syscalls: int
+
+    @property
+    def coverage(self) -> float:
+        total = self.cacheable_syscalls + self.checked_syscalls
+        return self.cacheable_syscalls / total if total else 0.0
+
+
+class SeccompActionCache:
+    """Per-process allow-bitmap over syscall numbers (kernel 5.11+)."""
+
+    def __init__(
+        self,
+        module: SeccompKernelModule,
+        table: SyscallTable = LINUX_X86_64,
+    ) -> None:
+        self._allow_bitmap: Set[int] = set()
+        self._considered = 0
+        # The kernel prepares the cache at filter-attach time by running
+        # the emulator for every native syscall number.
+        for entry in table:
+            self._considered += 1
+            if self._always_allows(module, entry.sid):
+                self._allow_bitmap.add(entry.sid)
+
+    @staticmethod
+    def _always_allows(module: SeccompKernelModule, sid: int) -> bool:
+        for attached in module.filters:
+            action = constant_action_for(attached.program, sid)
+            if action is None or action_of(action) != SECCOMP_RET_ALLOW:
+                return False
+        return bool(module.filters)
+
+    def hit(self, sid: int) -> bool:
+        return sid in self._allow_bitmap
+
+    @property
+    def stats(self) -> BitmapStats:
+        return BitmapStats(
+            cacheable_syscalls=len(self._allow_bitmap),
+            checked_syscalls=self._considered - len(self._allow_bitmap),
+        )
+
+
+class SeccompBitmapRegime(CheckingRegime):
+    """Seccomp with the 5.11 action-cache bitmap in front of the filter."""
+
+    #: Cost of a bitmap test at syscall entry (a bit test in hot kernel
+    #: text — a handful of cycles).
+    BITMAP_HIT_CYCLES = 15
+
+    def __init__(
+        self,
+        profile: SeccompProfile,
+        times: int = 1,
+        compiler: str = "linear",
+        use_jit: bool = True,
+        costs: SoftwareCostParams = DEFAULT_SW_COSTS,
+        name: Optional[str] = None,
+    ) -> None:
+        self.name = name or f"seccomp-bitmap:{profile.name}" + (
+            "" if times == 1 else f"x{times}"
+        )
+        self.profile = profile
+        self.costs = costs
+        self.use_jit = use_jit
+        self.module = _attach(profile, times, compiler)
+        self.cache = SeccompActionCache(self.module, table=profile.table)
+        self.bitmap_hits = 0
+        self.filter_runs = 0
+
+    def check(self, event: SyscallEvent) -> CheckOutcome:
+        if self.cache.hit(event.sid):
+            self.bitmap_hits += 1
+            return CheckOutcome(
+                allowed=True, cycles=self.BITMAP_HIT_CYCLES, path="bitmap_hit"
+            )
+        self.filter_runs += 1
+        decision = self.module.check(event)
+        per_insn = (
+            self.costs.cycles_per_bpf_insn_jit
+            if self.use_jit
+            else self.costs.cycles_per_bpf_insn_interpreted
+        )
+        cycles = (
+            self.BITMAP_HIT_CYCLES
+            + self.costs.seccomp_fixed_cycles
+            + decision.instructions_executed * per_insn
+        )
+        return CheckOutcome(
+            allowed=decision.allowed,
+            cycles=cycles,
+            path="filter_run" if decision.allowed else "denied",
+        )

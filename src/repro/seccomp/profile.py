@@ -1,0 +1,204 @@
+"""Seccomp profile model.
+
+A profile is a whitelist: a default action plus per-syscall rules.  A
+syscall rule either allows any argument values (ID-only check, as in
+``docker-default`` for most syscalls) or carries a list of *argument set
+rules*; each argument set rule is a conjunction of comparisons that must
+all hold for the syscall to be allowed.
+
+Two comparison operators are supported, matching what real-world
+profiles use (Section II-B: "most real-world profiles simply check
+system call IDs and argument values based on a whitelist of exact IDs
+and values"):
+
+* ``EQ`` — the argument equals a 64-bit constant;
+* ``MASKED_EQ`` — ``arg & mask == value`` (Docker's ``clone`` rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ProfileError
+from repro.seccomp.actions import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_KILL_PROCESS,
+    action_of,
+)
+from repro.syscalls.events import SyscallEvent
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class CmpOp(enum.Enum):
+    """Argument comparison operator (subset of ``scmp_compare``)."""
+
+    EQ = "eq"
+    MASKED_EQ = "masked_eq"
+
+
+@dataclass(frozen=True)
+class ArgCmp:
+    """One comparison against one argument slot."""
+
+    arg_index: int
+    value: int
+    op: CmpOp = CmpOp.EQ
+    mask: int = U64_MASK
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.arg_index < 6:
+            raise ProfileError(f"argument index out of range: {self.arg_index}")
+        object.__setattr__(self, "value", self.value & U64_MASK)
+        object.__setattr__(self, "mask", self.mask & U64_MASK)
+        if self.op is CmpOp.EQ:
+            object.__setattr__(self, "mask", U64_MASK)
+
+    def matches(self, args: Sequence[int]) -> bool:
+        actual = int(args[self.arg_index]) & U64_MASK if self.arg_index < len(args) else 0
+        return (actual & self.mask) == (self.value & self.mask)
+
+
+@dataclass(frozen=True)
+class ArgSetRule:
+    """A conjunction of argument comparisons — one whitelisted arg set."""
+
+    comparisons: Tuple[ArgCmp, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for cmp_ in self.comparisons:
+            if cmp_.arg_index in seen:
+                raise ProfileError(
+                    f"duplicate comparison on argument {cmp_.arg_index}"
+                )
+            seen.add(cmp_.arg_index)
+        ordered = tuple(sorted(self.comparisons, key=lambda c: c.arg_index))
+        object.__setattr__(self, "comparisons", ordered)
+
+    def matches(self, args: Sequence[int]) -> bool:
+        return all(cmp_.matches(args) for cmp_ in self.comparisons)
+
+
+@dataclass(frozen=True)
+class SyscallRule:
+    """Whitelist entry for one syscall."""
+
+    sid: int
+    arg_rules: Tuple[ArgSetRule, ...] = ()
+
+    @property
+    def checks_args(self) -> bool:
+        return bool(self.arg_rules)
+
+    def allows(self, event: SyscallEvent) -> bool:
+        if event.sid != self.sid:
+            return False
+        if not self.arg_rules:
+            return True
+        return any(rule.matches(event.args) for rule in self.arg_rules)
+
+
+class SeccompProfile:
+    """A named whitelist profile over the syscall table."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: Iterable[SyscallRule],
+        default_action: int = SECCOMP_RET_KILL_PROCESS,
+        table: SyscallTable = LINUX_X86_64,
+    ) -> None:
+        self.name = name
+        self.default_action = default_action
+        self.table = table
+        self._rules: Dict[int, SyscallRule] = {}
+        for rule in rules:
+            if rule.sid in self._rules:
+                raise ProfileError(f"duplicate rule for sid {rule.sid}")
+            if rule.sid not in table:
+                raise ProfileError(f"profile {name!r}: unknown sid {rule.sid}")
+            self._rules[rule.sid] = rule
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def from_names(
+        cls,
+        name: str,
+        allowed: Iterable[str],
+        arg_rules: Optional[Mapping[str, Sequence[ArgSetRule]]] = None,
+        default_action: int = SECCOMP_RET_KILL_PROCESS,
+        table: SyscallTable = LINUX_X86_64,
+    ) -> "SeccompProfile":
+        """Build a profile from syscall names plus optional arg rules."""
+        arg_rules = dict(arg_rules or {})
+        rules = []
+        for sys_name in allowed:
+            sdef = table.by_name(sys_name)
+            per_sys = tuple(arg_rules.pop(sys_name, ()))
+            rules.append(SyscallRule(sid=sdef.sid, arg_rules=per_sys))
+        if arg_rules:
+            raise ProfileError(
+                f"arg rules for syscalls not in the allow list: {sorted(arg_rules)}"
+            )
+        return cls(name, rules, default_action=default_action, table=table)
+
+    # -- queries -----------------------------------------------------------
+
+    def rule_for(self, sid: int) -> Optional[SyscallRule]:
+        return self._rules.get(sid)
+
+    @property
+    def rules(self) -> Tuple[SyscallRule, ...]:
+        return tuple(self._rules[sid] for sid in sorted(self._rules))
+
+    @property
+    def allowed_sids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._rules))
+
+    def allows(self, event: SyscallEvent) -> bool:
+        """Reference semantics: would this profile allow the event?"""
+        rule = self._rules.get(event.sid)
+        if rule is None:
+            return action_of(self.default_action) == SECCOMP_RET_ALLOW
+        return rule.allows(event)
+
+    def evaluate(self, event: SyscallEvent) -> int:
+        """Reference action for *event* (ALLOW or the default action)."""
+        return SECCOMP_RET_ALLOW if self.allows(event) else self.default_action
+
+    # -- security metrics (Figure 15) ---------------------------------------
+
+    @property
+    def num_syscalls(self) -> int:
+        return len(self._rules)
+
+    @property
+    def num_arguments_checked(self) -> int:
+        """Total argument comparisons across all rules (Figure 15b)."""
+        return sum(
+            len(arg_rule.comparisons)
+            for rule in self._rules.values()
+            for arg_rule in rule.arg_rules
+        )
+
+    @property
+    def num_argument_values_allowed(self) -> int:
+        """Distinct (sid, arg, value) triples whitelisted (Figure 15b)."""
+        values = {
+            (rule.sid, cmp_.arg_index, cmp_.value, cmp_.mask)
+            for rule in self._rules.values()
+            for arg_rule in rule.arg_rules
+            for cmp_ in arg_rule.comparisons
+        }
+        return len(values)
+
+    def __repr__(self) -> str:
+        return (
+            f"SeccompProfile(name={self.name!r}, syscalls={self.num_syscalls}, "
+            f"arg_checks={self.num_arguments_checked})"
+        )

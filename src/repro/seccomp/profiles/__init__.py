@@ -1,0 +1,21 @@
+"""Canned real-world Seccomp profiles (Section II-C of the paper)."""
+
+from repro.seccomp.profiles.docker_default import (
+    DOCKER_CLONE_FLAGS_MASK,
+    DOCKER_DENIED,
+    DOCKER_PERSONALITY_VALUES,
+    build_docker_default,
+)
+from repro.seccomp.profiles.firecracker import FIRECRACKER_ALLOWED, build_firecracker
+from repro.seccomp.profiles.gvisor import GVISOR_ALLOWED, build_gvisor
+
+__all__ = [
+    "DOCKER_CLONE_FLAGS_MASK",
+    "DOCKER_DENIED",
+    "DOCKER_PERSONALITY_VALUES",
+    "build_docker_default",
+    "FIRECRACKER_ALLOWED",
+    "build_firecracker",
+    "GVISOR_ALLOWED",
+    "build_gvisor",
+]

@@ -1,0 +1,53 @@
+"""AWS Firecracker microVM Seccomp profile.
+
+Section II-C: "the profile for the AWS Firecracker microVMs contains 37
+system calls and 8 argument checks."  Firecracker's VMM attaches a very
+small whitelist (its ``default_syscalls/filters.rs``); this module
+reconstructs a profile with the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+#: The 37 syscalls the Firecracker VMM whitelist covers.
+FIRECRACKER_ALLOWED: Tuple[str, ...] = (
+    "read", "write", "open", "close", "stat", "fstat", "lseek", "mmap",
+    "mprotect", "munmap", "brk", "rt_sigaction", "rt_sigprocmask",
+    "rt_sigreturn", "ioctl", "readv", "writev", "pipe", "dup",
+    "socket", "connect", "accept", "bind", "listen", "exit", "fcntl",
+    "futex", "epoll_ctl", "exit_group", "epoll_pwait", "timerfd_create",
+    "timerfd_settime", "openat", "eventfd2", "epoll_create1",
+    "getrandom", "recvfrom",
+)
+
+#: 8 argument checks: KVM/TUN ioctls, fcntl F_SETFD, eventfd2/timerfd flags.
+_ARG_PINS: Tuple[Tuple[str, int, Tuple[int, ...]], ...] = (
+    ("ioctl", 1, (0xAE80, 0xAE41, 0x400454CA, 0x4020AEA5)),  # KVM_RUN etc.
+    ("fcntl", 1, (2,)),  # F_SETFD
+    ("eventfd2", 1, (0,)),
+    ("timerfd_create", 0, (1,)),  # CLOCK_MONOTONIC
+    ("socket", 0, (1,)),  # AF_UNIX only
+)
+
+
+def _build_arg_rules() -> Dict[str, Sequence[ArgSetRule]]:
+    per_syscall: Dict[str, list] = {}
+    for name, arg_index, values in _ARG_PINS:
+        rules = per_syscall.setdefault(name, [])
+        for value in values:
+            rules.append(ArgSetRule((ArgCmp(arg_index, value),)))
+    return per_syscall
+
+
+def build_firecracker(table: SyscallTable = LINUX_X86_64) -> SeccompProfile:
+    """Construct the Firecracker-style VMM profile."""
+    return SeccompProfile.from_names(
+        "firecracker",
+        FIRECRACKER_ALLOWED,
+        arg_rules=_build_arg_rules(),
+        table=table,
+    )

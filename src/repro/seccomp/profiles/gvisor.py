@@ -1,0 +1,118 @@
+"""gVisor Sentry-style Seccomp profile.
+
+Section II-C: "the default gVisor profile ... is a whitelist of 74
+system calls and 130 argument checks."  gVisor's Sentry runs with a
+tight profile (``runsc/boot/filter/config.go``) that whitelists the
+small syscall surface the Go runtime and the Sentry need, and pins many
+of them to exact argument values (fcntl commands, ioctl requests, socket
+options, mmap protections, ...).
+
+This module reconstructs a profile with the same shape: 74 syscalls and
+130 argument comparisons distributed over the control-plane syscalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+#: The 74 syscalls the Sentry whitelist covers (modeled after config.go).
+GVISOR_ALLOWED: Tuple[str, ...] = (
+    "read", "write", "close", "fstat", "lseek", "mmap", "mprotect", "munmap",
+    "brk", "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "ioctl",
+    "pread64", "pwrite64", "readv", "writev", "mincore", "madvise", "dup",
+    "nanosleep", "getpid", "socket", "connect", "accept", "sendmsg",
+    "recvmsg", "shutdown", "bind", "listen", "getsockname", "getpeername",
+    "socketpair", "setsockopt", "getsockopt", "clone", "exit", "fcntl",
+    "fsync", "fdatasync", "ftruncate", "getcwd", "sigaltstack", "gettid",
+    "futex", "sched_yield", "epoll_create", "getdents64", "restart_syscall",
+    "fadvise64", "clock_gettime", "exit_group", "epoll_wait", "epoll_ctl",
+    "tgkill", "openat", "newfstatat", "unlinkat", "ppoll", "sync_file_range",
+    "utimensat", "epoll_pwait", "eventfd2", "epoll_create1", "dup3", "pipe2",
+    "preadv", "pwritev", "sendmmsg", "getrandom", "memfd_create", "membarrier",
+    "rseq", "tee",
+)
+
+# Exact-value pins modeled on gVisor's filter: (syscall, arg index, values).
+_ARG_PINS: Tuple[Tuple[str, int, Tuple[int, ...]], ...] = (
+    # fcntl: F_GETFL, F_SETFL, F_GETFD, F_SETFD, F_DUPFD_CLOEXEC, F_GETLK
+    ("fcntl", 1, (3, 4, 1, 2, 1030, 5)),
+    # ioctl: FIONREAD, FIONBIO, TCGETS, TIOCGWINSZ, TIOCSPTLCK, FIOASYNC
+    ("ioctl", 1, (0x541B, 0x5421, 0x5401, 0x5413, 0x40045431, 0x5452)),
+    # socket: AF_UNIX, AF_INET, AF_INET6, AF_NETLINK / types below
+    ("socket", 0, (1, 2, 10, 16)),
+    ("socket", 1, (1, 2, 5, 0x80001, 0x80002)),
+    # setsockopt levels and options
+    ("setsockopt", 1, (1, 6, 0)),
+    ("setsockopt", 2, (2, 3, 9, 13, 20)),
+    ("getsockopt", 1, (1, 6)),
+    ("getsockopt", 2, (3, 4, 7, 21)),
+    # mmap prot and flags combinations the Go runtime issues
+    ("mmap", 2, (0, 1, 3, 5)),
+    ("mmap", 3, (0x22, 0x32, 0x2, 0x812, 0x1002)),
+    # madvise advice values
+    ("madvise", 2, (4, 8, 9, 12, 14)),
+    # futex ops (private wait/wake/requeue variants)
+    ("futex", 1, (0, 1, 9, 10, 128, 129, 137)),
+    # clone flags the Go runtime uses for new threads
+    ("clone", 0, (0x3D0F00, 0x50F00)),
+    # epoll_ctl ops
+    ("epoll_ctl", 1, (1, 2, 3)),
+    # shutdown how
+    ("shutdown", 1, (0, 1, 2)),
+    # membarrier commands
+    ("membarrier", 0, (0, 1, 8, 16)),
+    # tgkill: only SIGABRT-class signals to self-group (values modeled)
+    ("tgkill", 2, (6, 11)),
+    # sync_file_range flags
+    ("sync_file_range", 3, (2, 7)),
+    # eventfd2 flags
+    ("eventfd2", 1, (0, 0x80000, 0x80800)),
+    # fadvise64 advice
+    ("fadvise64", 3, (0, 3, 4)),
+    # madvise-like prctl-ish pins on dup3 flags
+    ("dup3", 2, (0, 0x80000)),
+    # getrandom flags
+    ("getrandom", 2, (0, 1)),
+    # socketpair domain/type
+    ("socketpair", 0, (1,)),
+    ("socketpair", 1, (1, 0x80001)),
+    # preadv/pwritev flags-free, pin iovcnt=1 fast path plus 8
+    ("sendmmsg", 3, (0x4000, 0x4040)),
+    # epoll_create size (legacy, must be positive; gVisor pins 1)
+    ("epoll_create", 0, (1,)),
+    # clock_gettime clock ids
+    ("clock_gettime", 0, (0, 1, 4, 6, 7)),
+    # rseq flags
+    ("rseq", 2, (0,)),
+    # memfd_create flags
+    ("memfd_create", 1, (0, 1, 3)),
+    # ppoll: no pins; ftruncate length 0 guard used by shm
+    ("ftruncate", 1, (0,)),
+    # madvise fd guard-page protections via mprotect prot values
+    ("mprotect", 2, (0, 1, 3, 5)),
+)
+
+
+def _build_arg_rules() -> Dict[str, Sequence[ArgSetRule]]:
+    per_syscall: Dict[str, List[List[ArgCmp]]] = {}
+    for name, arg_index, values in _ARG_PINS:
+        rules = per_syscall.setdefault(name, [])
+        for value in values:
+            rules.append([ArgCmp(arg_index, value)])
+    return {
+        name: [ArgSetRule(tuple(cmps)) for cmps in rule_lists]
+        for name, rule_lists in per_syscall.items()
+    }
+
+
+def build_gvisor(table: SyscallTable = LINUX_X86_64) -> SeccompProfile:
+    """Construct the gVisor-style Sentry profile."""
+    return SeccompProfile.from_names(
+        "gvisor",
+        GVISOR_ALLOWED,
+        arg_rules=_build_arg_rules(),
+        table=table,
+    )

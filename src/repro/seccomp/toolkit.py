@@ -1,0 +1,96 @@
+"""Application-specific profile generation toolkit.
+
+Reproduces the paper's Section X-B toolkit: "(1) attaching strace onto a
+running application to collect the system call traces, and (2)
+generating the Seccomp profiles that only allow the system call IDs and
+argument sets that appeared in the recorded traces."
+
+Our strace equivalent records a :class:`SyscallTrace` from a workload
+model; from a trace this module derives:
+
+* ``syscall-noargs``  — whitelist of the exact SIDs observed;
+* ``syscall-complete`` — whitelist of the exact (SID, argument set)
+  combinations observed, with EQ comparisons over every checkable
+  (non-pointer) argument;
+* ``syscall-complete-2x`` — the complete profile attached twice in a
+  row, modelling a near-future environment with twice the checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile, SyscallRule
+from repro.syscalls.events import SyscallTrace
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+
+@dataclass(frozen=True)
+class ProfileBundle:
+    """The three application-specific profiles for one workload.
+
+    ``complete_2x`` reuses the ``complete`` profile; the doubling is an
+    *attachment count*, consumed by the checking configuration.
+    """
+
+    noargs: SeccompProfile
+    complete: SeccompProfile
+
+    @property
+    def complete_2x(self) -> SeccompProfile:
+        return self.complete
+
+
+def observed_argument_sets(
+    trace: SyscallTrace, table: SyscallTable = LINUX_X86_64
+) -> Dict[int, Set[Tuple[int, ...]]]:
+    """Map each observed SID to its distinct checkable-argument tuples."""
+    by_sid: Dict[int, Set[Tuple[int, ...]]] = {}
+    for event in trace:
+        sdef = table.by_sid(event.sid)
+        checkable = tuple(event.args[i] for i in sdef.checkable_args)
+        by_sid.setdefault(event.sid, set()).add(checkable)
+    return by_sid
+
+
+def generate_noargs(
+    trace: SyscallTrace, name: str, table: SyscallTable = LINUX_X86_64
+) -> SeccompProfile:
+    """ID-only whitelist of the syscalls observed in *trace*."""
+    rules = [SyscallRule(sid=sid) for sid in trace.unique_sids()]
+    return SeccompProfile(f"{name}:syscall-noargs", rules, table=table)
+
+
+def generate_complete(
+    trace: SyscallTrace, name: str, table: SyscallTable = LINUX_X86_64
+) -> SeccompProfile:
+    """Whitelist of the exact (SID, argument set) pairs observed."""
+    rules: List[SyscallRule] = []
+    for sid, arg_sets in sorted(observed_argument_sets(trace, table).items()):
+        sdef = table.by_sid(sid)
+        checkable = sdef.checkable_args
+        if not checkable:
+            rules.append(SyscallRule(sid=sid))
+            continue
+        arg_rules = tuple(
+            ArgSetRule(
+                tuple(
+                    ArgCmp(arg_index, value)
+                    for arg_index, value in zip(checkable, values)
+                )
+            )
+            for values in sorted(arg_sets)
+        )
+        rules.append(SyscallRule(sid=sid, arg_rules=arg_rules))
+    return SeccompProfile(f"{name}:syscall-complete", rules, table=table)
+
+
+def generate_bundle(
+    trace: SyscallTrace, name: str, table: SyscallTable = LINUX_X86_64
+) -> ProfileBundle:
+    """Produce all application-specific profiles for a recorded trace."""
+    return ProfileBundle(
+        noargs=generate_noargs(trace, name, table),
+        complete=generate_complete(trace, name, table),
+    )

@@ -1,0 +1,52 @@
+"""System call ABI substrate: the x86-64 table, registers, and events."""
+
+from repro.syscalls.abi import (
+    ARG_BYTES,
+    AUDIT_ARCH_X86_64,
+    SYSCALL_ID_REGISTER,
+    X86_64_ARG_REGISTERS,
+    ArgumentRegisterMap,
+    RegisterFile,
+    argument_bitmask,
+    bitmask_arg_count,
+    select_bytes,
+)
+from repro.syscalls.events import SyscallEvent, SyscallTrace, make_event
+from repro.syscalls.serialize import load as load_trace
+from repro.syscalls.serialize import save as save_trace
+from repro.syscalls.table_aarch64 import AUDIT_ARCH_AARCH64, LINUX_AARCH64
+from repro.syscalls.table import (
+    LINUX_X86_64,
+    MAX_SYSCALL_ARGS,
+    PAPER_DOCKER_DEFAULT_SYSCALLS,
+    PAPER_LINUX_TOTAL_SYSCALLS,
+    SyscallDef,
+    SyscallTable,
+    sid,
+)
+
+__all__ = [
+    "ARG_BYTES",
+    "AUDIT_ARCH_X86_64",
+    "SYSCALL_ID_REGISTER",
+    "X86_64_ARG_REGISTERS",
+    "ArgumentRegisterMap",
+    "RegisterFile",
+    "argument_bitmask",
+    "bitmask_arg_count",
+    "select_bytes",
+    "SyscallEvent",
+    "load_trace",
+    "save_trace",
+    "AUDIT_ARCH_AARCH64",
+    "LINUX_AARCH64",
+    "SyscallTrace",
+    "make_event",
+    "LINUX_X86_64",
+    "MAX_SYSCALL_ARGS",
+    "PAPER_DOCKER_DEFAULT_SYSCALLS",
+    "PAPER_LINUX_TOTAL_SYSCALLS",
+    "SyscallDef",
+    "SyscallTable",
+    "sid",
+]

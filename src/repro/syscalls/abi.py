@@ -1,0 +1,137 @@
+"""x86-64 system call ABI details.
+
+Models the register convention the paper relies on (Section II-A): the
+SID travels in ``rax`` and up to six arguments in ``rdi, rsi, rdx, r10,
+r8, r9``.  Draco's hardware reads these registers when the ``syscall``
+instruction reaches the ROB head; the generality discussion (Section
+VIII) proposes an OS-programmable mapping table, which
+:class:`ArgumentRegisterMap` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Linux x86-64 convention: argument index -> general-purpose register.
+X86_64_ARG_REGISTERS: Tuple[str, ...] = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+
+#: Register carrying the system call ID.
+SYSCALL_ID_REGISTER = "rax"
+
+#: seccomp_data.arch value for x86-64 (AUDIT_ARCH_X86_64).
+AUDIT_ARCH_X86_64 = 0xC000003E
+
+WORD_BITS = 64
+ARG_BYTES = 8
+
+
+class ArgumentRegisterMap:
+    """OS-programmable mapping from argument number to register name.
+
+    Section VIII: "we can add an OS-programmable table that contains the
+    mapping between system call argument number and general-purpose
+    register that holds it.  This way, we can use arbitrary registers."
+    """
+
+    def __init__(self, registers: Sequence[str] = X86_64_ARG_REGISTERS) -> None:
+        registers = tuple(registers)
+        if len(registers) != len(set(registers)):
+            raise ConfigError("argument registers must be distinct")
+        if not 1 <= len(registers) <= 6:
+            raise ConfigError("an ABI maps between 1 and 6 argument registers")
+        if SYSCALL_ID_REGISTER in registers:
+            raise ConfigError(f"{SYSCALL_ID_REGISTER} is reserved for the SID")
+        self._registers = registers
+
+    @property
+    def registers(self) -> Tuple[str, ...]:
+        return self._registers
+
+    def register_for(self, arg_index: int) -> str:
+        if not 0 <= arg_index < len(self._registers):
+            raise ConfigError(f"argument index {arg_index} outside ABI range")
+        return self._registers[arg_index]
+
+    def pack(self, args: Sequence[int]) -> Dict[str, int]:
+        """Place argument values into their registers."""
+        if len(args) > len(self._registers):
+            raise ConfigError("more arguments than ABI registers")
+        return {self._registers[i]: int(args[i]) for i in range(len(args))}
+
+    def unpack(self, registers: Dict[str, int], nargs: int) -> Tuple[int, ...]:
+        """Read *nargs* argument values back out of a register file."""
+        if nargs > len(self._registers):
+            raise ConfigError("more arguments than ABI registers")
+        return tuple(int(registers.get(self._registers[i], 0)) for i in range(nargs))
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A minimal snapshot of the registers relevant to a syscall."""
+
+    rax: int
+    args: Tuple[int, ...]
+
+    def as_dict(self, abi: ArgumentRegisterMap = ArgumentRegisterMap()) -> Dict[str, int]:
+        regs = abi.pack(self.args)
+        regs[SYSCALL_ID_REGISTER] = self.rax
+        return regs
+
+
+def argument_bitmask(nargs: int, arg_bytes: Sequence[int] = ()) -> int:
+    """Build the SPT Argument Bitmask (Section V-B).
+
+    One bit per argument byte, 48 bits total (6 args x 8 bytes).  By
+    default every byte of each of the first *nargs* arguments is marked
+    used; *arg_bytes* can narrow an argument to fewer bytes (entry i =
+    number of low bytes argument i uses).
+    """
+    if not 0 <= nargs <= 6:
+        raise ConfigError("nargs must be within [0, 6]")
+    widths = list(arg_bytes) if arg_bytes else [ARG_BYTES] * nargs
+    if len(widths) != nargs:
+        raise ConfigError("arg_bytes length must equal nargs")
+    mask = 0
+    for arg_index, width in enumerate(widths):
+        if not 1 <= width <= ARG_BYTES:
+            raise ConfigError("argument byte width must be within [1, 8]")
+        for byte in range(width):
+            mask |= 1 << (arg_index * ARG_BYTES + byte)
+    return mask
+
+
+def bitmask_arg_count(mask: int) -> int:
+    """Recover the argument count from an Argument Bitmask.
+
+    The SPT feeds this to the SLB to select the right subtable
+    (Figure 7 step 2: "The SPT uses the Argument Bitmask to generate
+    the argument count used by the system call").
+    """
+    if mask < 0 or mask >> 48:
+        raise ConfigError("argument bitmask must fit in 48 bits")
+    count = 0
+    for arg_index in range(6):
+        if mask >> (arg_index * ARG_BYTES) & 0xFF:
+            count = arg_index + 1
+    return count
+
+
+def select_bytes(args: Sequence[int], mask: int) -> bytes:
+    """Extract the argument bytes selected by an Argument Bitmask.
+
+    This is the Selector of Figure 5: only the masked bytes of the
+    argument set participate in hashing, so e.g. a syscall with two
+    1-byte arguments hashes only those two bytes.
+    """
+    if mask < 0 or mask >> 48:
+        raise ConfigError("argument bitmask must fit in 48 bits")
+    out = bytearray()
+    for arg_index in range(6):
+        value = int(args[arg_index]) & (2**WORD_BITS - 1) if arg_index < len(args) else 0
+        for byte in range(ARG_BYTES):
+            if mask >> (arg_index * ARG_BYTES + byte) & 1:
+                out.append(value >> (byte * 8) & 0xFF)
+    return bytes(out)

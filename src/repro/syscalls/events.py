@@ -1,0 +1,96 @@
+"""Dynamic system call events.
+
+A :class:`SyscallEvent` is one executed ``syscall`` instruction: the SID,
+the concrete argument values, and the program counter of the instruction
+(the STB of Section VI-B is indexed by this PC).  Traces — sequences of
+events — are what the workload models emit and what every checking
+regime consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.syscalls.table import LINUX_X86_64, SyscallDef, SyscallTable
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """One dynamic system call instance."""
+
+    sid: int
+    args: Tuple[int, ...]
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sid < 0:
+            raise ValueError("sid must be non-negative")
+        if len(self.args) > 6:
+            raise ValueError("at most 6 syscall arguments")
+        object.__setattr__(self, "args", tuple(int(a) for a in self.args))
+
+    @property
+    def key(self) -> Tuple[int, Tuple[int, ...]]:
+        """The (SID, argument set) identity Draco caches on."""
+        return (self.sid, self.args)
+
+    def name(self, table: SyscallTable = LINUX_X86_64) -> str:
+        return table.by_sid(self.sid).name
+
+
+def make_event(
+    ident,
+    args: Sequence[int] = (),
+    pc: int = 0,
+    table: SyscallTable = LINUX_X86_64,
+) -> SyscallEvent:
+    """Build an event from a syscall name or SID, padding checkable args.
+
+    Argument values are taken positionally over the syscall's *checkable*
+    (non-pointer) argument slots, because neither Seccomp profiles nor
+    Draco inspect pointer arguments.  Pointer slots are recorded as 0.
+    """
+    sdef: SyscallDef = table.lookup(ident)
+    checkable = sdef.checkable_args
+    if len(args) > len(checkable):
+        raise ValueError(
+            f"{sdef.name} has {len(checkable)} checkable args, got {len(args)}"
+        )
+    full = [0] * sdef.nargs
+    for value, slot in zip(args, checkable):
+        full[slot] = int(value)
+    return SyscallEvent(sid=sdef.sid, args=tuple(full), pc=pc)
+
+
+class SyscallTrace:
+    """An ordered sequence of syscall events with convenience analytics."""
+
+    def __init__(self, events: Iterable[SyscallEvent] = ()) -> None:
+        self._events: List[SyscallEvent] = list(events)
+
+    def append(self, event: SyscallEvent) -> None:
+        self._events.append(event)
+
+    def extend(self, events: Iterable[SyscallEvent]) -> None:
+        self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SyscallEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return SyscallTrace(self._events[index])
+        return self._events[index]
+
+    def unique_sids(self) -> Tuple[int, ...]:
+        return tuple(sorted({e.sid for e in self._events}))
+
+    def unique_keys(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        return tuple(sorted({e.key for e in self._events}))
+
+    def argument_sets_for(self, sid: int) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(sorted({e.args for e in self._events if e.sid == sid}))

@@ -1,0 +1,82 @@
+"""Trace serialisation: save and replay syscall traces as JSON Lines.
+
+Recorded traces (synthetic or strace-derived) can be persisted and
+replayed deterministically — the substrate for regression corpora and
+for sharing workloads between machines.
+
+Format: one JSON object per line, ``{"sid": int, "args": [int...],
+"pc": int}``, preceded by a header line ``{"format": "repro-trace",
+"version": 1, "count": N}``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import ReproError
+from repro.syscalls.events import SyscallEvent, SyscallTrace
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ReproError):
+    """The file is not a valid repro trace."""
+
+
+def dumps(trace: SyscallTrace) -> str:
+    """Serialise a trace to JSONL text."""
+    lines = [
+        json.dumps(
+            {"format": FORMAT_NAME, "version": FORMAT_VERSION, "count": len(trace)}
+        )
+    ]
+    for event in trace:
+        lines.append(
+            json.dumps({"sid": event.sid, "args": list(event.args), "pc": event.pc})
+        )
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> SyscallTrace:
+    """Parse JSONL text back into a trace."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"bad header: {error}") from error
+    if header.get("format") != FORMAT_NAME:
+        raise TraceFormatError("not a repro trace file")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported version {header.get('version')}")
+    events = []
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+            events.append(
+                SyscallEvent(
+                    sid=int(record["sid"]),
+                    args=tuple(int(a) for a in record["args"]),
+                    pc=int(record.get("pc", 0)),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise TraceFormatError(f"bad record on line {index}: {error}") from error
+    declared = header.get("count")
+    if declared is not None and declared != len(events):
+        raise TraceFormatError(
+            f"header declares {declared} events, file has {len(events)}"
+        )
+    return SyscallTrace(events)
+
+
+def save(trace: SyscallTrace, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps(trace))
+
+
+def load(path: Union[str, Path]) -> SyscallTrace:
+    return loads(Path(path).read_text())

@@ -1,0 +1,482 @@
+"""The x86-64 Linux system call table.
+
+This is the substrate every other layer builds on: Seccomp profiles
+whitelist entries of this table, the workload models emit events drawn
+from it, and Draco's SPT is indexed by the system call ID (SID) defined
+here.
+
+Each entry records the syscall ID, its name, the number of arguments it
+takes, and a *pointer mask*: bit ``i`` is set when argument ``i`` is a
+pointer.  Like Seccomp, Draco never checks pointer arguments (checking
+them would be vulnerable to TOCTOU attacks — Section II-B of the paper),
+so the number of *checkable* arguments is ``nargs`` minus pointer args.
+
+The table transcribes the Linux 5.x x86-64 ABI (``syscall_64.tbl``) for
+IDs 0–334 plus the 424–435 range.  The paper quotes 403 as "the total
+number of system calls in Linux" (Figure 15a); that figure counts the
+full multi-ABI table of its kernel.  We expose our own transcription
+count alongside :data:`PAPER_LINUX_TOTAL_SYSCALLS` so experiments can
+report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.common.errors import UnknownSyscallError
+
+MAX_SYSCALL_ARGS = 6
+
+#: Figure 15a of the paper reports this as the Linux total.
+PAPER_LINUX_TOTAL_SYSCALLS = 403
+
+#: Figure 15a: the default Docker profile allows this many syscalls.
+PAPER_DOCKER_DEFAULT_SYSCALLS = 358
+
+
+@dataclass(frozen=True)
+class SyscallDef:
+    """Static definition of one system call in the ABI."""
+
+    sid: int
+    name: str
+    nargs: int
+    pointer_mask: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.nargs <= MAX_SYSCALL_ARGS:
+            raise ValueError(f"{self.name}: nargs out of range: {self.nargs}")
+        if self.pointer_mask >> self.nargs:
+            raise ValueError(f"{self.name}: pointer mask wider than nargs")
+
+    @property
+    def checkable_args(self) -> Tuple[int, ...]:
+        """Indices of arguments that Seccomp/Draco may check (non-pointers)."""
+        return tuple(i for i in range(self.nargs) if not self.pointer_mask >> i & 1)
+
+    @property
+    def num_checkable_args(self) -> int:
+        return len(self.checkable_args)
+
+
+# (sid, name, nargs, pointer_mask).  Pointer masks are transcribed from the
+# kernel signatures; bit i set means argument i is a userspace pointer.
+_RAW: Tuple[Tuple[int, str, int, int], ...] = (
+    (0, "read", 3, 0b010),
+    (1, "write", 3, 0b010),
+    (2, "open", 3, 0b001),
+    (3, "close", 1, 0b0),
+    (4, "stat", 2, 0b11),
+    (5, "fstat", 2, 0b10),
+    (6, "lstat", 2, 0b11),
+    (7, "poll", 3, 0b001),
+    (8, "lseek", 3, 0b000),
+    (9, "mmap", 6, 0b000001),
+    (10, "mprotect", 3, 0b001),
+    (11, "munmap", 2, 0b01),
+    (12, "brk", 1, 0b1),
+    (13, "rt_sigaction", 4, 0b0110),
+    (14, "rt_sigprocmask", 4, 0b0110),
+    (15, "rt_sigreturn", 0, 0b0),
+    (16, "ioctl", 3, 0b100),
+    (17, "pread64", 4, 0b0010),
+    (18, "pwrite64", 4, 0b0010),
+    (19, "readv", 3, 0b010),
+    (20, "writev", 3, 0b010),
+    (21, "access", 2, 0b01),
+    (22, "pipe", 1, 0b1),
+    (23, "select", 5, 0b11110),
+    (24, "sched_yield", 0, 0b0),
+    (25, "mremap", 5, 0b00001),
+    (26, "msync", 3, 0b001),
+    (27, "mincore", 3, 0b101),
+    (28, "madvise", 3, 0b001),
+    (29, "shmget", 3, 0b000),
+    (30, "shmat", 3, 0b010),
+    (31, "shmctl", 3, 0b100),
+    (32, "dup", 1, 0b0),
+    (33, "dup2", 2, 0b00),
+    (34, "pause", 0, 0b0),
+    (35, "nanosleep", 2, 0b11),
+    (36, "getitimer", 2, 0b10),
+    (37, "alarm", 1, 0b0),
+    (38, "setitimer", 3, 0b110),
+    (39, "getpid", 0, 0b0),
+    (40, "sendfile", 4, 0b0100),
+    (41, "socket", 3, 0b000),
+    (42, "connect", 3, 0b010),
+    (43, "accept", 3, 0b110),
+    (44, "sendto", 6, 0b010010),
+    (45, "recvfrom", 6, 0b110010),
+    (46, "sendmsg", 3, 0b010),
+    (47, "recvmsg", 3, 0b010),
+    (48, "shutdown", 2, 0b00),
+    (49, "bind", 3, 0b010),
+    (50, "listen", 2, 0b00),
+    (51, "getsockname", 3, 0b110),
+    (52, "getpeername", 3, 0b110),
+    (53, "socketpair", 4, 0b1000),
+    (54, "setsockopt", 5, 0b01000),
+    (55, "getsockopt", 5, 0b11000),
+    (56, "clone", 5, 0b11110),
+    (57, "fork", 0, 0b0),
+    (58, "vfork", 0, 0b0),
+    (59, "execve", 3, 0b111),
+    (60, "exit", 1, 0b0),
+    (61, "wait4", 4, 0b1010),
+    (62, "kill", 2, 0b00),
+    (63, "uname", 1, 0b1),
+    (64, "semget", 3, 0b000),
+    (65, "semop", 3, 0b010),
+    (66, "semctl", 4, 0b0000),
+    (67, "shmdt", 1, 0b1),
+    (68, "msgget", 2, 0b00),
+    (69, "msgsnd", 4, 0b0010),
+    (70, "msgrcv", 5, 0b00010),
+    (71, "msgctl", 3, 0b100),
+    (72, "fcntl", 3, 0b000),
+    (73, "flock", 2, 0b00),
+    (74, "fsync", 1, 0b0),
+    (75, "fdatasync", 1, 0b0),
+    (76, "truncate", 2, 0b01),
+    (77, "ftruncate", 2, 0b00),
+    (78, "getdents", 3, 0b010),
+    (79, "getcwd", 2, 0b01),
+    (80, "chdir", 1, 0b1),
+    (81, "fchdir", 1, 0b0),
+    (82, "rename", 2, 0b11),
+    (83, "mkdir", 2, 0b01),
+    (84, "rmdir", 1, 0b1),
+    (85, "creat", 2, 0b01),
+    (86, "link", 2, 0b11),
+    (87, "unlink", 1, 0b1),
+    (88, "symlink", 2, 0b11),
+    (89, "readlink", 3, 0b011),
+    (90, "chmod", 2, 0b01),
+    (91, "fchmod", 2, 0b00),
+    (92, "chown", 3, 0b001),
+    (93, "fchown", 3, 0b000),
+    (94, "lchown", 3, 0b001),
+    (95, "umask", 1, 0b0),
+    (96, "gettimeofday", 2, 0b11),
+    (97, "getrlimit", 2, 0b10),
+    (98, "getrusage", 2, 0b10),
+    (99, "sysinfo", 1, 0b1),
+    (100, "times", 1, 0b1),
+    (101, "ptrace", 4, 0b1100),
+    (102, "getuid", 0, 0b0),
+    (103, "syslog", 3, 0b010),
+    (104, "getgid", 0, 0b0),
+    (105, "setuid", 1, 0b0),
+    (106, "setgid", 1, 0b0),
+    (107, "geteuid", 0, 0b0),
+    (108, "getegid", 0, 0b0),
+    (109, "setpgid", 2, 0b00),
+    (110, "getppid", 0, 0b0),
+    (111, "getpgrp", 0, 0b0),
+    (112, "setsid", 0, 0b0),
+    (113, "setreuid", 2, 0b00),
+    (114, "setregid", 2, 0b00),
+    (115, "getgroups", 2, 0b10),
+    (116, "setgroups", 2, 0b10),
+    (117, "setresuid", 3, 0b000),
+    (118, "getresuid", 3, 0b111),
+    (119, "setresgid", 3, 0b000),
+    (120, "getresgid", 3, 0b111),
+    (121, "getpgid", 1, 0b0),
+    (122, "setfsuid", 1, 0b0),
+    (123, "setfsgid", 1, 0b0),
+    (124, "getsid", 1, 0b0),
+    (125, "capget", 2, 0b11),
+    (126, "capset", 2, 0b11),
+    (127, "rt_sigpending", 2, 0b01),
+    (128, "rt_sigtimedwait", 4, 0b0111),
+    (129, "rt_sigqueueinfo", 3, 0b100),
+    (130, "rt_sigsuspend", 2, 0b01),
+    (131, "sigaltstack", 2, 0b11),
+    (132, "utime", 2, 0b11),
+    (133, "mknod", 3, 0b001),
+    (134, "uselib", 1, 0b1),
+    (135, "personality", 1, 0b0),
+    (136, "ustat", 2, 0b10),
+    (137, "statfs", 2, 0b11),
+    (138, "fstatfs", 2, 0b10),
+    (139, "sysfs", 3, 0b000),
+    (140, "getpriority", 2, 0b00),
+    (141, "setpriority", 3, 0b000),
+    (142, "sched_setparam", 2, 0b10),
+    (143, "sched_getparam", 2, 0b10),
+    (144, "sched_setscheduler", 3, 0b100),
+    (145, "sched_getscheduler", 1, 0b0),
+    (146, "sched_get_priority_max", 1, 0b0),
+    (147, "sched_get_priority_min", 1, 0b0),
+    (148, "sched_rr_get_interval", 2, 0b10),
+    (149, "mlock", 2, 0b01),
+    (150, "munlock", 2, 0b01),
+    (151, "mlockall", 1, 0b0),
+    (152, "munlockall", 0, 0b0),
+    (153, "vhangup", 0, 0b0),
+    (154, "modify_ldt", 3, 0b010),
+    (155, "pivot_root", 2, 0b11),
+    (156, "_sysctl", 1, 0b1),
+    (157, "prctl", 5, 0b00000),
+    (158, "arch_prctl", 2, 0b00),
+    (159, "adjtimex", 1, 0b1),
+    (160, "setrlimit", 2, 0b10),
+    (161, "chroot", 1, 0b1),
+    (162, "sync", 0, 0b0),
+    (163, "acct", 1, 0b1),
+    (164, "settimeofday", 2, 0b11),
+    (165, "mount", 5, 0b10111),
+    (166, "umount2", 2, 0b01),
+    (167, "swapon", 2, 0b01),
+    (168, "swapoff", 1, 0b1),
+    (169, "reboot", 4, 0b1000),
+    (170, "sethostname", 2, 0b01),
+    (171, "setdomainname", 2, 0b01),
+    (172, "iopl", 1, 0b0),
+    (173, "ioperm", 3, 0b000),
+    (174, "create_module", 2, 0b01),
+    (175, "init_module", 3, 0b101),
+    (176, "delete_module", 2, 0b01),
+    (177, "get_kernel_syms", 1, 0b1),
+    (178, "query_module", 5, 0b11011),
+    (179, "quotactl", 4, 0b1010),
+    (180, "nfsservctl", 3, 0b110),
+    (181, "getpmsg", 5, 0b11011),
+    (182, "putpmsg", 5, 0b00011),
+    (183, "afs_syscall", 0, 0b0),
+    (184, "tuxcall", 0, 0b0),
+    (185, "security", 0, 0b0),
+    (186, "gettid", 0, 0b0),
+    (187, "readahead", 3, 0b000),
+    (188, "setxattr", 5, 0b00111),
+    (189, "lsetxattr", 5, 0b00111),
+    (190, "fsetxattr", 5, 0b00110),
+    (191, "getxattr", 4, 0b0111),
+    (192, "lgetxattr", 4, 0b0111),
+    (193, "fgetxattr", 4, 0b0110),
+    (194, "listxattr", 3, 0b011),
+    (195, "llistxattr", 3, 0b011),
+    (196, "flistxattr", 3, 0b010),
+    (197, "removexattr", 2, 0b11),
+    (198, "lremovexattr", 2, 0b11),
+    (199, "fremovexattr", 2, 0b10),
+    (200, "tkill", 2, 0b00),
+    (201, "time", 1, 0b1),
+    (202, "futex", 6, 0b011001),
+    (203, "sched_setaffinity", 3, 0b100),
+    (204, "sched_getaffinity", 3, 0b100),
+    (205, "set_thread_area", 1, 0b1),
+    (206, "io_setup", 2, 0b10),
+    (207, "io_destroy", 1, 0b0),
+    (208, "io_getevents", 5, 0b11000),
+    (209, "io_submit", 3, 0b100),
+    (210, "io_cancel", 3, 0b110),
+    (211, "get_thread_area", 1, 0b1),
+    (212, "lookup_dcookie", 3, 0b010),
+    (213, "epoll_create", 1, 0b0),
+    (214, "epoll_ctl_old", 4, 0b1000),
+    (215, "epoll_wait_old", 4, 0b0010),
+    (216, "remap_file_pages", 5, 0b00000),
+    (217, "getdents64", 3, 0b010),
+    (218, "set_tid_address", 1, 0b1),
+    (219, "restart_syscall", 0, 0b0),
+    (220, "semtimedop", 4, 0b1010),
+    (221, "fadvise64", 4, 0b0000),
+    (222, "timer_create", 3, 0b110),
+    (223, "timer_settime", 4, 0b1100),
+    (224, "timer_gettime", 2, 0b10),
+    (225, "timer_getoverrun", 1, 0b0),
+    (226, "timer_delete", 1, 0b0),
+    (227, "clock_settime", 2, 0b10),
+    (228, "clock_gettime", 2, 0b10),
+    (229, "clock_getres", 2, 0b10),
+    (230, "clock_nanosleep", 4, 0b1100),
+    (231, "exit_group", 1, 0b0),
+    (232, "epoll_wait", 4, 0b0010),
+    (233, "epoll_ctl", 4, 0b1000),
+    (234, "tgkill", 3, 0b000),
+    (235, "utimes", 2, 0b11),
+    (236, "vserver", 0, 0b0),
+    (237, "mbind", 6, 0b000101),
+    (238, "set_mempolicy", 3, 0b010),
+    (239, "get_mempolicy", 5, 0b00011),
+    (240, "mq_open", 4, 0b1001),
+    (241, "mq_unlink", 1, 0b1),
+    (242, "mq_timedsend", 5, 0b10010),
+    (243, "mq_timedreceive", 5, 0b11010),
+    (244, "mq_notify", 2, 0b10),
+    (245, "mq_getsetattr", 3, 0b110),
+    (246, "kexec_load", 4, 0b0100),
+    (247, "waitid", 5, 0b10100),
+    (248, "add_key", 5, 0b00111),
+    (249, "request_key", 4, 0b0111),
+    (250, "keyctl", 5, 0b00000),
+    (251, "ioprio_set", 3, 0b000),
+    (252, "ioprio_get", 2, 0b00),
+    (253, "inotify_init", 0, 0b0),
+    (254, "inotify_add_watch", 3, 0b010),
+    (255, "inotify_rm_watch", 2, 0b00),
+    (256, "migrate_pages", 4, 0b1100),
+    (257, "openat", 4, 0b0010),
+    (258, "mkdirat", 3, 0b010),
+    (259, "mknodat", 4, 0b0010),
+    (260, "fchownat", 5, 0b00010),
+    (261, "futimesat", 3, 0b110),
+    (262, "newfstatat", 4, 0b0110),
+    (263, "unlinkat", 3, 0b010),
+    (264, "renameat", 4, 0b1010),
+    (265, "linkat", 5, 0b01010),
+    (266, "symlinkat", 3, 0b101),
+    (267, "readlinkat", 4, 0b0110),
+    (268, "fchmodat", 3, 0b010),
+    (269, "faccessat", 3, 0b010),
+    (270, "pselect6", 6, 0b111110),
+    (271, "ppoll", 5, 0b01101),
+    (272, "unshare", 1, 0b0),
+    (273, "set_robust_list", 2, 0b01),
+    (274, "get_robust_list", 3, 0b110),
+    (275, "splice", 6, 0b001010),
+    (276, "tee", 4, 0b0000),
+    (277, "sync_file_range", 4, 0b0000),
+    (278, "vmsplice", 4, 0b0010),
+    (279, "move_pages", 6, 0b111100),
+    (280, "utimensat", 4, 0b0110),
+    (281, "epoll_pwait", 6, 0b010010),
+    (282, "signalfd", 3, 0b010),
+    (283, "timerfd_create", 2, 0b00),
+    (284, "eventfd", 1, 0b0),
+    (285, "fallocate", 4, 0b0000),
+    (286, "timerfd_settime", 4, 0b1100),
+    (287, "timerfd_gettime", 2, 0b10),
+    (288, "accept4", 4, 0b0110),
+    (289, "signalfd4", 4, 0b0010),
+    (290, "eventfd2", 2, 0b00),
+    (291, "epoll_create1", 1, 0b0),
+    (292, "dup3", 3, 0b000),
+    (293, "pipe2", 2, 0b01),
+    (294, "inotify_init1", 1, 0b0),
+    (295, "preadv", 5, 0b00010),
+    (296, "pwritev", 5, 0b00010),
+    (297, "rt_tgsigqueueinfo", 4, 0b1000),
+    (298, "perf_event_open", 5, 0b00001),
+    (299, "recvmmsg", 5, 0b10010),
+    (300, "fanotify_init", 2, 0b00),
+    (301, "fanotify_mark", 5, 0b10000),
+    (302, "prlimit64", 4, 0b1100),
+    (303, "name_to_handle_at", 5, 0b01110),
+    (304, "open_by_handle_at", 3, 0b010),
+    (305, "clock_adjtime", 2, 0b10),
+    (306, "syncfs", 1, 0b0),
+    (307, "sendmmsg", 4, 0b0010),
+    (308, "setns", 2, 0b00),
+    (309, "getcpu", 3, 0b111),
+    (310, "process_vm_readv", 6, 0b001010),
+    (311, "process_vm_writev", 6, 0b001010),
+    (312, "kcmp", 5, 0b00000),
+    (313, "finit_module", 3, 0b010),
+    (314, "sched_setattr", 3, 0b010),
+    (315, "sched_getattr", 4, 0b0010),
+    (316, "renameat2", 5, 0b01010),
+    (317, "seccomp", 3, 0b100),
+    (318, "getrandom", 3, 0b001),
+    (319, "memfd_create", 2, 0b01),
+    (320, "kexec_file_load", 5, 0b01000),
+    (321, "bpf", 3, 0b010),
+    (322, "execveat", 5, 0b01110),
+    (323, "userfaultfd", 1, 0b0),
+    (324, "membarrier", 2, 0b00),
+    (325, "mlock2", 3, 0b001),
+    (326, "copy_file_range", 6, 0b001010),
+    (327, "preadv2", 6, 0b000010),
+    (328, "pwritev2", 6, 0b000010),
+    (329, "pkey_mprotect", 4, 0b0001),
+    (330, "pkey_alloc", 2, 0b00),
+    (331, "pkey_free", 1, 0b0),
+    (332, "statx", 5, 0b10010),
+    (333, "io_pgetevents", 6, 0b111000),
+    (334, "rseq", 4, 0b0001),
+    (424, "pidfd_send_signal", 4, 0b0100),
+    (425, "io_uring_setup", 2, 0b10),
+    (426, "io_uring_enter", 6, 0b010000),
+    (427, "io_uring_register", 4, 0b0100),
+    (428, "open_tree", 3, 0b010),
+    (429, "move_mount", 5, 0b01010),
+    (430, "fsopen", 2, 0b01),
+    (431, "fsconfig", 5, 0b01100),
+    (432, "fsmount", 3, 0b000),
+    (433, "fspick", 3, 0b010),
+    (434, "pidfd_open", 2, 0b00),
+    (435, "clone3", 2, 0b01),
+)
+
+
+class SyscallTable:
+    """Immutable lookup table mapping SIDs and names to definitions."""
+
+    def __init__(self, entries: Iterable[SyscallDef]) -> None:
+        self._by_sid: Dict[int, SyscallDef] = {}
+        self._by_name: Dict[str, SyscallDef] = {}
+        for entry in entries:
+            if entry.sid in self._by_sid:
+                raise ValueError(f"duplicate sid {entry.sid}")
+            if entry.name in self._by_name:
+                raise ValueError(f"duplicate name {entry.name}")
+            self._by_sid[entry.sid] = entry
+            self._by_name[entry.name] = entry
+
+    def __len__(self) -> int:
+        return len(self._by_sid)
+
+    def __contains__(self, ident: object) -> bool:
+        if isinstance(ident, int):
+            return ident in self._by_sid
+        if isinstance(ident, str):
+            return ident in self._by_name
+        return False
+
+    def __iter__(self):
+        return iter(sorted(self._by_sid.values(), key=lambda d: d.sid))
+
+    def by_sid(self, sid: int) -> SyscallDef:
+        try:
+            return self._by_sid[sid]
+        except KeyError:
+            raise UnknownSyscallError(sid) from None
+
+    def by_name(self, name: str) -> SyscallDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownSyscallError(name) from None
+
+    def lookup(self, ident) -> SyscallDef:
+        """Look up by SID (int) or name (str)."""
+        if isinstance(ident, SyscallDef):
+            return ident
+        if isinstance(ident, int):
+            return self.by_sid(ident)
+        if isinstance(ident, str):
+            return self.by_name(ident)
+        raise UnknownSyscallError(ident)
+
+    def sid_of(self, ident) -> int:
+        return self.lookup(ident).sid
+
+    @property
+    def max_sid(self) -> int:
+        return max(self._by_sid)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self)
+
+
+#: The canonical table used throughout the library.
+LINUX_X86_64 = SyscallTable(SyscallDef(*raw) for raw in _RAW)
+
+
+def sid(name: str) -> int:
+    """Shorthand: SID of a syscall by name in the canonical table."""
+    return LINUX_X86_64.by_name(name).sid

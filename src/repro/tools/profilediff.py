@@ -1,0 +1,103 @@
+"""``profilediff`` — semantic diff between two Seccomp profile JSONs.
+
+Application updates change syscall footprints; operators need to review
+what a regenerated profile adds or removes before deploying it.  This
+tool compares two Moby-format profiles at the level the sandbox
+enforces: allowed syscalls, and whitelisted argument values per
+(syscall, argument slot).
+
+Usage::
+
+    python -m repro.tools.profilediff old.json new.json
+    # exit code 0: identical surface, 1: differences found, 2: usage error
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.seccomp.json_io import profile_from_json
+from repro.seccomp.profile import SeccompProfile
+
+ValueKey = Tuple[str, int, int, int]  # (syscall, arg index, value, mask)
+
+
+def surface(profile: SeccompProfile) -> Tuple[FrozenSet[str], FrozenSet[ValueKey]]:
+    """A profile's enforced surface: names, and (name, slot, value, mask)."""
+    names = frozenset(profile.table.by_sid(sid).name for sid in profile.allowed_sids)
+    values: Set[ValueKey] = set()
+    for rule in profile.rules:
+        name = profile.table.by_sid(rule.sid).name
+        for arg_rule in rule.arg_rules:
+            for cmp_ in arg_rule.comparisons:
+                values.add((name, cmp_.arg_index, cmp_.value, cmp_.mask))
+    return names, frozenset(values)
+
+
+def diff_profiles(
+    old: SeccompProfile, new: SeccompProfile
+) -> Dict[str, Tuple]:
+    """Structured diff: added/removed syscalls and argument values."""
+    old_names, old_values = surface(old)
+    new_names, new_values = surface(new)
+    return {
+        "added_syscalls": tuple(sorted(new_names - old_names)),
+        "removed_syscalls": tuple(sorted(old_names - new_names)),
+        "added_values": tuple(sorted(new_values - old_values)),
+        "removed_values": tuple(sorted(old_values - new_values)),
+    }
+
+
+def _format_value(entry: ValueKey) -> str:
+    name, index, value, mask = entry
+    if mask != 0xFFFFFFFFFFFFFFFF:
+        return f"{name}.arg{index} & {mask:#x} == {value:#x}"
+    return f"{name}.arg{index} == {value:#x}"
+
+
+def render(diff: Dict[str, Tuple]) -> str:
+    lines = []
+    for key, symbol in (
+        ("added_syscalls", "+"),
+        ("removed_syscalls", "-"),
+    ):
+        for name in diff[key]:
+            lines.append(f"{symbol} syscall {name}")
+    for key, symbol in (
+        ("added_values", "+"),
+        ("removed_values", "-"),
+    ):
+        for entry in diff[key]:
+            lines.append(f"{symbol} value   {_format_value(entry)}")
+    if not lines:
+        lines.append("profiles enforce an identical surface")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="profilediff",
+        description="Semantic diff between two Moby-format Seccomp profiles.",
+    )
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    args = parser.parse_args(argv)
+
+    for path in (args.old, args.new):
+        if not path.exists():
+            print(f"profilediff: no such file: {path}", file=sys.stderr)
+            return 2
+
+    old = profile_from_json(args.old.read_text(), name="old")
+    new = profile_from_json(args.new.read_text(), name="new")
+    diff = diff_profiles(old, new)
+    print(render(diff))
+    changed = any(diff[key] for key in diff)
+    return 1 if changed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Tracing front-ends: parse real strace logs into syscall traces."""
+
+from repro.tracing.strace import (
+    DEFAULT_CONSTANTS,
+    StraceParseError,
+    StraceParser,
+    StraceRecord,
+    parse_strace,
+    parse_value,
+    split_arguments,
+)
+
+__all__ = [
+    "DEFAULT_CONSTANTS",
+    "StraceParseError",
+    "StraceParser",
+    "StraceRecord",
+    "parse_strace",
+    "parse_value",
+    "split_arguments",
+]

@@ -1,0 +1,53 @@
+"""Workload substrate: models, trace generation, the 15-workload catalog."""
+
+from repro.workloads.catalog import (
+    CATALOG,
+    MACRO_WORKLOADS,
+    MICRO_WORKLOADS,
+    REGIME_COMPLETE,
+    REGIME_COMPLETE_2X,
+    REGIME_DOCKER,
+    REGIME_INSECURE,
+    REGIME_NOARGS,
+    SECCOMP_REGIMES,
+    build_catalog,
+)
+from repro.workloads.generator import (
+    TraceGenerator,
+    callsite_pc,
+    coverage_trace,
+    generate_trace,
+    profile_trace,
+)
+from repro.workloads.model import (
+    ArgSetSpec,
+    SyscallSpec,
+    WorkloadSpec,
+    fd_arg_sets,
+    single_arg_sets,
+    uniform_arg_sets,
+)
+
+__all__ = [
+    "CATALOG",
+    "MACRO_WORKLOADS",
+    "MICRO_WORKLOADS",
+    "REGIME_COMPLETE",
+    "REGIME_COMPLETE_2X",
+    "REGIME_DOCKER",
+    "REGIME_INSECURE",
+    "REGIME_NOARGS",
+    "SECCOMP_REGIMES",
+    "build_catalog",
+    "TraceGenerator",
+    "callsite_pc",
+    "coverage_trace",
+    "generate_trace",
+    "profile_trace",
+    "ArgSetSpec",
+    "SyscallSpec",
+    "WorkloadSpec",
+    "fd_arg_sets",
+    "single_arg_sets",
+    "uniform_arg_sets",
+]

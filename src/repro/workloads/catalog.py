@@ -1,0 +1,557 @@
+"""The fifteen paper workloads (Section X-A), as synthetic models.
+
+Eight macro benchmarks (long-running server applications and two
+FaaS-style functions) and seven micro benchmarks.  Each model specifies
+the syscall population: relative frequencies, argument-set populations,
+call-site counts, and per-call-site stickiness.  The shapes follow the
+paper's characterisation:
+
+* Figure 3 — read/futex/recvfrom/close/epoll_wait/... dominate; most
+  syscalls use three or fewer argument sets heavily; reuse distances are
+  tens of syscalls.
+* Figure 13 — Elasticsearch and Redis have lower STB hit rates (more
+  syscall call sites: JIT'd code, command dispatch tables); HTTPD,
+  Elasticsearch, MySQL and Redis have lower SLB hit rates (larger
+  argument-set working sets: many client fds in flight).
+* Figure 15b — application-specific profiles allow between ~10^2 and
+  ~2.5x10^3 distinct argument values.
+
+``fig2_targets`` records the normalised execution times read off the
+paper's Figure 2 bars; they calibrate each workload's application-work
+parameter (see ``repro.experiments.runner``) and give EXPERIMENTS.md its
+paper-side column.  Averages across workloads match the paper's reported
+1.05/1.04/1.14/1.21x (macro) and 1.12/1.09/1.25/1.42x (micro).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.model import (
+    ArgSetSpec,
+    SyscallSpec,
+    WorkloadSpec,
+    fd_arg_sets,
+    single_arg_sets,
+)
+
+# Profile regime names used across experiments.
+REGIME_INSECURE = "insecure"
+REGIME_DOCKER = "docker-default"
+REGIME_NOARGS = "syscall-noargs"
+REGIME_COMPLETE = "syscall-complete"
+REGIME_COMPLETE_2X = "syscall-complete-2x"
+
+SECCOMP_REGIMES = (REGIME_DOCKER, REGIME_NOARGS, REGIME_COMPLETE, REGIME_COMPLETE_2X)
+
+
+def _targets(docker: float, noargs: float, complete: float, complete_2x: float) -> Dict[str, float]:
+    return {
+        REGIME_DOCKER: docker,
+        REGIME_NOARGS: noargs,
+        REGIME_COMPLETE: complete,
+        REGIME_COMPLETE_2X: complete_2x,
+    }
+
+
+def _rw_sets(fds: Sequence[int], sizes: Sequence[int], skew: float = 1.0):
+    return fd_arg_sets(fds, sizes, skew=skew)
+
+
+def _epoll_wait_sets(epfds: Sequence[int], maxevents: Sequence[int], timeouts: Sequence[int]):
+    """epoll_wait(epfd, events*, maxevents, timeout) -> checkable (0, 2, 3)."""
+    specs: List[ArgSetSpec] = []
+    rank = 1
+    for epfd in epfds:
+        for maxev in maxevents:
+            for timeout in timeouts:
+                specs.append(ArgSetSpec(values=(epfd, maxev, timeout), weight=1.0 / rank))
+                rank += 1
+    return tuple(specs)
+
+
+def _epoll_ctl_sets(epfds: Sequence[int], ops: Sequence[int], fds: Sequence[int]):
+    """epoll_ctl(epfd, op, fd, event*) -> checkable (0, 1, 2)."""
+    specs: List[ArgSetSpec] = []
+    rank = 1
+    for epfd in epfds:
+        for op in ops:
+            for fd in fds:
+                specs.append(ArgSetSpec(values=(epfd, op, fd), weight=1.0 / rank))
+                rank += 1
+    return tuple(specs)
+
+
+def _futex_sets(ops: Sequence[int], vals: Sequence[int]):
+    """futex(uaddr*, op, val, timeout*, uaddr2*, val3) -> checkable (1, 2, 5)."""
+    specs: List[ArgSetSpec] = []
+    rank = 1
+    for op in ops:
+        for val in vals:
+            specs.append(ArgSetSpec(values=(op, val, 0), weight=1.0 / rank))
+            rank += 1
+    return tuple(specs)
+
+
+def _accept4_sets(fds: Sequence[int], flags: int = 0x80800):
+    """accept4(fd, addr*, len*, flags) -> checkable (0, 3)."""
+    return tuple(
+        ArgSetSpec(values=(fd, flags), weight=1.0 / rank)
+        for rank, fd in enumerate(fds, start=1)
+    )
+
+
+def _sendto_sets(fds: Sequence[int], sizes: Sequence[int], flags: Sequence[int] = (0,)):
+    """sendto(fd, buf*, len, flags, addr*, addrlen) -> checkable (0, 2, 3, 5)."""
+    specs: List[ArgSetSpec] = []
+    rank = 1
+    for fd in fds:
+        for size in sizes:
+            for flag in flags:
+                specs.append(ArgSetSpec(values=(fd, size, flag, 0), weight=1.0 / rank))
+                rank += 1
+    return tuple(specs)
+
+
+def _recvfrom_sets(fds: Sequence[int], sizes: Sequence[int], flags: Sequence[int] = (0,)):
+    """recvfrom(fd, buf*, len, flags, addr*, len*) -> checkable (0, 2, 3)."""
+    specs: List[ArgSetSpec] = []
+    rank = 1
+    for fd in fds:
+        for size in sizes:
+            for flag in flags:
+                specs.append(ArgSetSpec(values=(fd, size, flag), weight=1.0 / rank))
+                rank += 1
+    return tuple(specs)
+
+
+def _openat_sets(flags_modes: Sequence[Tuple[int, int]], dirfd: int = -100):
+    """openat(dirfd, path*, flags, mode) -> checkable (0, 2, 3)."""
+    return tuple(
+        ArgSetSpec(values=(dirfd & 0xFFFFFFFF, flags, mode), weight=1.0 / rank)
+        for rank, (flags, mode) in enumerate(flags_modes, start=1)
+    )
+
+
+def _mmap_sets(combos: Sequence[Tuple[int, int, int, int, int]]):
+    """mmap(addr*, len, prot, flags, fd, off) -> checkable (1, 2, 3, 4, 5)."""
+    return tuple(
+        ArgSetSpec(values=tuple(combo), weight=1.0 / rank)
+        for rank, combo in enumerate(combos, start=1)
+    )
+
+
+_OPEN_RDONLY = (0x0, 0)
+_OPEN_RDONLY_CLOEXEC = (0x80000, 0)
+_OPEN_WRONLY_APPEND = (0x401, 0o644)
+_OPEN_RDWR = (0x2, 0o600)
+_OPEN_CREAT = (0x241, 0o644)
+
+_MMAP_ANON_RW = (65536, 3, 0x22, 0xFFFFFFFF, 0)
+_MMAP_ANON_RW_BIG = (1 << 21, 3, 0x22, 0xFFFFFFFF, 0)
+_MMAP_FILE_RO = (4096, 1, 0x2, 10, 0)
+_MMAP_FILE_SHARED = (8192, 3, 0x1, 11, 0)
+
+
+# ---------------------------------------------------------------------------
+# Macro benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _httpd() -> WorkloadSpec:
+    client_fds = list(range(8, 72))  # ab churns through many connection fds
+    return WorkloadSpec(
+        name="httpd",
+        kind="macro",
+        description="Apache HTTP server under ab with 30 concurrent requests",
+        syscalls=(
+            SyscallSpec("read", 16, _rw_sets(client_fds, (8000,)), callsites=6, stickiness=0.6),
+            SyscallSpec("writev", 12, _rw_sets(client_fds, (4096, 11000)), callsites=4, stickiness=0.55),
+            SyscallSpec("close", 9, single_arg_sets(client_fds), callsites=4, stickiness=0.6),
+            SyscallSpec("epoll_wait", 9, _epoll_wait_sets((4,), (512,), (100, 0, 10000)), callsites=2),
+            SyscallSpec("accept4", 8, _accept4_sets((3,)), callsites=2),
+            SyscallSpec("epoll_ctl", 6, _epoll_ctl_sets((4,), (1, 2, 3), client_fds[:16]), callsites=3, stickiness=0.55),
+            SyscallSpec("sendfile", 5, tuple(
+                ArgSetSpec(values=(fd, 12, size), weight=1.0 / r)
+                for r, (fd, size) in enumerate(
+                    [(fd, size) for fd in client_fds[:12] for size in (11000,)], start=1
+                )
+            ), callsites=2, stickiness=0.6),
+            SyscallSpec("openat", 5, _openat_sets((_OPEN_RDONLY_CLOEXEC, _OPEN_RDONLY, _OPEN_WRONLY_APPEND)), callsites=3),
+            SyscallSpec("fstat", 5, single_arg_sets(list(range(10, 22))), callsites=3),
+            SyscallSpec("stat", 4, arg_sets=()),  # both args are pointers
+            SyscallSpec("futex", 4, _futex_sets((128, 129), (1, 2)), callsites=4),
+            SyscallSpec("times", 3, arg_sets=()),
+            SyscallSpec("poll", 3, tuple(ArgSetSpec(values=(n, t), weight=1.0 / r) for r, (n, t) in enumerate([(1, 100), (1, 0), (2, 100)], start=1))),
+            SyscallSpec("write", 3, _rw_sets((2, 7), (120, 256))),
+            SyscallSpec("shutdown", 2, tuple(ArgSetSpec(values=(fd, 1), weight=1.0 / r) for r, fd in enumerate(client_fds[:8], start=1))),
+            SyscallSpec("setsockopt", 2, tuple(
+                ArgSetSpec(values=(fd, 6, 1, 4), weight=1.0 / r) for r, fd in enumerate(client_fds[:8], start=1)
+            )),
+            SyscallSpec("mmap", 1, _mmap_sets((_MMAP_ANON_RW, _MMAP_FILE_RO))),
+            SyscallSpec("munmap", 1, single_arg_sets((65536, 4096))),
+            SyscallSpec("getpid", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.08, 1.06, 1.26, 1.39),
+    )
+
+
+def _nginx() -> WorkloadSpec:
+    client_fds = list(range(6, 62))
+    return WorkloadSpec(
+        name="nginx",
+        kind="macro",
+        description="NGINX under ab with 30 concurrent requests",
+        syscalls=(
+            SyscallSpec("recvfrom", 14, _recvfrom_sets(client_fds[:40], (1024,)), callsites=6, stickiness=0.65),
+            SyscallSpec("writev", 12, _rw_sets(client_fds[:36], (238, 4096)), callsites=6, stickiness=0.6),
+            SyscallSpec("epoll_wait", 11, _epoll_wait_sets((8,), (512,), (-1 & 0xFFFFFFFF, 60000)), callsites=1),
+            SyscallSpec("close", 9, single_arg_sets(client_fds), callsites=2),
+            SyscallSpec("accept4", 8, _accept4_sets((5, 6))),
+            SyscallSpec("epoll_ctl", 6, _epoll_ctl_sets((8,), (1, 3), client_fds[:12]), callsites=2),
+            SyscallSpec("write", 6, _rw_sets((2, 4), (90, 180))),
+            SyscallSpec("openat", 5, _openat_sets((_OPEN_RDONLY_CLOEXEC, _OPEN_RDONLY))),
+            SyscallSpec("fstat", 5, single_arg_sets(list(range(9, 17)))),
+            SyscallSpec("sendfile", 4, tuple(
+                ArgSetSpec(values=(fd, 9, 615), weight=1.0 / r) for r, fd in enumerate(client_fds[:10], start=1)
+            ), callsites=2),
+            SyscallSpec("read", 4, _rw_sets((9, 10), (4096, 8192))),
+            SyscallSpec("setsockopt", 3, tuple(
+                ArgSetSpec(values=(fd, 6, 3, 4), weight=1.0 / r) for r, fd in enumerate(client_fds[:6], start=1)
+            )),
+            SyscallSpec("futex", 2, _futex_sets((128, 129), (1,))),
+            SyscallSpec("getpid", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.06, 1.04, 1.18, 1.27),
+    )
+
+
+def _elasticsearch() -> WorkloadSpec:
+    # JVM: futex-heavy, many JIT'd call sites -> low STB locality.
+    jvm_fds = list(range(100, 160))
+    return WorkloadSpec(
+        name="elasticsearch",
+        kind="macro",
+        description="Elasticsearch driven by YCSB workloada, 10 clients",
+        syscalls=(
+            SyscallSpec("futex", 22, _futex_sets((0, 1, 128, 129, 137), (1, 2, 0x7FFFFFFF)), callsites=130, stickiness=0.55),
+            SyscallSpec("read", 14, _rw_sets(jvm_fds[:56], (8192, 16384)), callsites=60, stickiness=0.5),
+            SyscallSpec("write", 10, _rw_sets(jvm_fds[:30], (512, 8192)), callsites=45, stickiness=0.5),
+            SyscallSpec("epoll_wait", 8, _epoll_wait_sets((90, 91), (1024,), (0, 100, 1000)), callsites=12),
+            SyscallSpec("epoll_ctl", 5, _epoll_ctl_sets((90, 91), (1, 2, 3), jvm_fds[:20]), callsites=14, stickiness=0.45),
+            SyscallSpec("close", 5, single_arg_sets(jvm_fds), callsites=30, stickiness=0.5),
+            SyscallSpec("mmap", 4, _mmap_sets((_MMAP_ANON_RW, _MMAP_ANON_RW_BIG, _MMAP_FILE_RO, _MMAP_FILE_SHARED)), callsites=10),
+            SyscallSpec("mprotect", 3, tuple(ArgSetSpec(values=(sz, prot), weight=1.0 / r) for r, (sz, prot) in enumerate([(4096, 3), (4096, 0), (8192, 1), (1 << 20, 3)], start=1)), callsites=8),
+            SyscallSpec("openat", 4, _openat_sets((_OPEN_RDONLY_CLOEXEC, _OPEN_RDONLY, _OPEN_CREAT, _OPEN_RDWR)), callsites=16),
+            SyscallSpec("fstat", 4, single_arg_sets(jvm_fds[:24]), callsites=12),
+            SyscallSpec("lseek", 3, tuple(ArgSetSpec(values=(fd, off, 0), weight=1.0 / r) for r, (fd, off) in enumerate([(f, o) for f in jvm_fds[:8] for o in (0, 4096)], start=1)), callsites=8),
+            SyscallSpec("stat", 3, arg_sets=()),
+            SyscallSpec("sched_yield", 2, arg_sets=(), callsites=6),
+            SyscallSpec("munmap", 2, single_arg_sets((65536, 1 << 21)), callsites=6),
+            SyscallSpec("getrusage", 1, single_arg_sets((0,))),
+            SyscallSpec("sendto", 2, _sendto_sets(jvm_fds[:10], (256, 4096)), callsites=10, stickiness=0.5),
+            SyscallSpec("recvfrom", 2, _recvfrom_sets(jvm_fds[:10], (65536,)), callsites=10, stickiness=0.5),
+        ),
+        fig2_targets=_targets(1.03, 1.02, 1.08, 1.12),
+    )
+
+
+def _mysql() -> WorkloadSpec:
+    data_fds = list(range(20, 70))
+    return WorkloadSpec(
+        name="mysql",
+        kind="macro",
+        description="MySQL under SysBench OLTP with 10 clients",
+        syscalls=(
+            SyscallSpec("futex", 18, _futex_sets((0, 1, 128, 129), (1, 2)), callsites=40, stickiness=0.6),
+            SyscallSpec("recvfrom", 13, _recvfrom_sets(data_fds[:40], (4, 16384)), callsites=8, stickiness=0.55),
+            SyscallSpec("sendto", 12, _sendto_sets(data_fds[:36], (11, 64, 1024)), callsites=8, stickiness=0.55),
+            SyscallSpec("pread64", 9, tuple(
+                ArgSetSpec(values=(fd, 16384, off), weight=1.0 / r)
+                for r, (fd, off) in enumerate([(f, o) for f in data_fds[:12] for o in (0, 16384, 32768)], start=1)
+            ), callsites=6, stickiness=0.5),
+            SyscallSpec("pwrite64", 8, tuple(
+                ArgSetSpec(values=(fd, 16384, off), weight=1.0 / r)
+                for r, (fd, off) in enumerate([(f, o) for f in data_fds[:10] for o in (0, 16384)], start=1)
+            ), callsites=5, stickiness=0.5),
+            SyscallSpec("read", 7, _rw_sets(data_fds[:10], (4096,)), callsites=4),
+            SyscallSpec("write", 6, _rw_sets(data_fds[:10], (512, 4096)), callsites=4),
+            SyscallSpec("fsync", 5, single_arg_sets(data_fds[:10]), callsites=3),
+            SyscallSpec("poll", 4, tuple(ArgSetSpec(values=(1, t), weight=1.0 / r) for r, t in enumerate((-1 & 0xFFFFFFFF, 0), start=1))),
+            SyscallSpec("lseek", 3, tuple(ArgSetSpec(values=(fd, 0, 2), weight=1.0 / r) for r, fd in enumerate(data_fds[:8], start=1))),
+            SyscallSpec("times", 3, arg_sets=()),
+            SyscallSpec("openat", 2, _openat_sets((_OPEN_RDWR, _OPEN_RDONLY, _OPEN_CREAT))),
+            SyscallSpec("close", 2, single_arg_sets(data_fds[:16])),
+            SyscallSpec("fcntl", 2, tuple(ArgSetSpec(values=(fd, 3, 0), weight=1.0 / r) for r, fd in enumerate(data_fds[:6], start=1))),
+            SyscallSpec("getpid", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.04, 1.03, 1.10, 1.15),
+    )
+
+
+def _cassandra() -> WorkloadSpec:
+    jvm_fds = list(range(80, 120))
+    return WorkloadSpec(
+        name="cassandra",
+        kind="macro",
+        description="Cassandra driven by YCSB workloadc, 30 clients",
+        syscalls=(
+            SyscallSpec("futex", 20, _futex_sets((0, 1, 128, 129), (1, 2)), callsites=60, stickiness=0.65),
+            SyscallSpec("read", 14, _rw_sets(jvm_fds[:36], (4096, 65536)), callsites=24, stickiness=0.6),
+            SyscallSpec("write", 10, _rw_sets(jvm_fds[:16], (4096,)), callsites=20, stickiness=0.6),
+            SyscallSpec("epoll_wait", 9, _epoll_wait_sets((70,), (1024,), (0, 200)), callsites=6),
+            SyscallSpec("epoll_ctl", 5, _epoll_ctl_sets((70,), (1, 3), jvm_fds[:10]), callsites=6),
+            SyscallSpec("close", 4, single_arg_sets(jvm_fds[:20]), callsites=10),
+            SyscallSpec("mmap", 4, _mmap_sets((_MMAP_ANON_RW, _MMAP_FILE_SHARED, _MMAP_ANON_RW_BIG)), callsites=6),
+            SyscallSpec("fstat", 4, single_arg_sets(jvm_fds[:14]), callsites=6),
+            SyscallSpec("openat", 3, _openat_sets((_OPEN_RDONLY_CLOEXEC, _OPEN_CREAT))),
+            SyscallSpec("lseek", 3, tuple(ArgSetSpec(values=(fd, 0, 0), weight=1.0 / r) for r, fd in enumerate(jvm_fds[:8], start=1))),
+            SyscallSpec("sendto", 3, _sendto_sets(jvm_fds[:8], (128, 1024))),
+            SyscallSpec("recvfrom", 3, _recvfrom_sets(jvm_fds[:8], (65536,))),
+            SyscallSpec("sched_yield", 2, arg_sets=(), callsites=4),
+            SyscallSpec("stat", 2, arg_sets=()),
+            SyscallSpec("getpid", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.03, 1.02, 1.07, 1.11),
+    )
+
+
+def _redis() -> WorkloadSpec:
+    client_fds = list(range(7, 100))  # redis-benchmark cycles through many client fds
+    return WorkloadSpec(
+        name="redis",
+        kind="macro",
+        description="Redis under redis-benchmark with 30 concurrent requests",
+        syscalls=(
+            SyscallSpec("read", 20, _rw_sets(client_fds[:72], (16384,)), callsites=110, stickiness=0.5),
+            SyscallSpec("write", 18, _rw_sets(client_fds[:56], (5, 4096)), callsites=100, stickiness=0.5),
+            SyscallSpec("epoll_wait", 14, _epoll_wait_sets((5,), (10128,), (100, 0)), callsites=8),
+            SyscallSpec("epoll_ctl", 6, _epoll_ctl_sets((5,), (1, 2, 3), client_fds[:24]), callsites=60, stickiness=0.45),
+            SyscallSpec("close", 5, single_arg_sets(client_fds[:32]), callsites=40, stickiness=0.5),
+            SyscallSpec("accept4", 5, _accept4_sets((4,)), callsites=6),
+            SyscallSpec("openat", 2, _openat_sets((_OPEN_CREAT, _OPEN_RDONLY))),
+            SyscallSpec("fstat", 2, single_arg_sets(client_fds[:12]), callsites=8),
+            SyscallSpec("getpid", 2, arg_sets=(), callsites=4),
+            SyscallSpec("futex", 2, _futex_sets((128, 129), (1,)), callsites=8),
+            SyscallSpec("fcntl", 2, tuple(ArgSetSpec(values=(fd, 4, 0x800), weight=1.0 / r) for r, fd in enumerate(client_fds[:16], start=1)), callsites=20, stickiness=0.5),
+            SyscallSpec("setsockopt", 1, tuple(ArgSetSpec(values=(fd, 6, 1, 4), weight=1.0 / r) for r, fd in enumerate(client_fds[:8], start=1))),
+            SyscallSpec("mmap", 1, _mmap_sets((_MMAP_ANON_RW,))),
+            SyscallSpec("brk", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.08, 1.06, 1.22, 1.33),
+    )
+
+
+def _grep() -> WorkloadSpec:
+    file_fds = list(range(3, 12))
+    return WorkloadSpec(
+        name="grep",
+        kind="macro",
+        description="FaaS grep function searching the Linux source tree",
+        syscalls=(
+            SyscallSpec("read", 30, _rw_sets(file_fds, (32768, 65536)), callsites=2, stickiness=0.8),
+            SyscallSpec("openat", 18, _openat_sets((_OPEN_RDONLY_CLOEXEC, _OPEN_RDONLY)), callsites=2),
+            SyscallSpec("close", 17, single_arg_sets(file_fds), callsites=2),
+            SyscallSpec("fstat", 12, single_arg_sets(file_fds), callsites=2),
+            SyscallSpec("getdents64", 9, tuple(ArgSetSpec(values=(fd, 32768), weight=1.0 / r) for r, fd in enumerate(file_fds[:4], start=1))),
+            SyscallSpec("write", 6, _rw_sets((1,), (80, 4096))),
+            SyscallSpec("lseek", 3, tuple(ArgSetSpec(values=(fd, 0, 1), weight=1.0 / r) for r, fd in enumerate(file_fds[:4], start=1))),
+            SyscallSpec("mmap", 2, _mmap_sets((_MMAP_ANON_RW,))),
+            SyscallSpec("munmap", 2, single_arg_sets((65536,))),
+            SyscallSpec("brk", 1, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.03, 1.02, 1.06, 1.09),
+    )
+
+
+def _pwgen() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="pwgen",
+        kind="macro",
+        description="FaaS pwgen function generating 10K secure passwords",
+        syscalls=(
+            SyscallSpec("getrandom", 34, tuple(
+                ArgSetSpec(values=(size, 0), weight=1.0 / r) for r, size in enumerate((16, 32, 64), start=1)
+            ), callsites=2, stickiness=0.85),
+            SyscallSpec("write", 28, _rw_sets((1,), (17, 33, 4096)), callsites=2),
+            SyscallSpec("read", 14, _rw_sets((0, 3), (4096,))),
+            SyscallSpec("openat", 8, _openat_sets((_OPEN_RDONLY_CLOEXEC,))),
+            SyscallSpec("close", 8, single_arg_sets((3, 4))),
+            SyscallSpec("fstat", 4, single_arg_sets((1, 3))),
+            SyscallSpec("brk", 2, arg_sets=()),
+            SyscallSpec("mmap", 2, _mmap_sets((_MMAP_ANON_RW,))),
+        ),
+        fig2_targets=_targets(1.05, 1.04, 1.12, 1.18),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _sysbench_fio() -> WorkloadSpec:
+    file_fds = list(range(4, 132))  # 128 files (Section X-A)
+    return WorkloadSpec(
+        name="sysbench-fio",
+        kind="micro",
+        description="SysBench FIO over 128 files totalling 512 MB",
+        syscalls=(
+            SyscallSpec("pread64", 28, tuple(
+                ArgSetSpec(values=(fd, 16384, off), weight=1.0 / r)
+                for r, (fd, off) in enumerate([(f, o) for f in file_fds[:32] for o in (0, 16384)], start=1)
+            ), callsites=2, stickiness=0.85),
+            SyscallSpec("pwrite64", 26, tuple(
+                ArgSetSpec(values=(fd, 16384, off), weight=1.0 / r)
+                for r, (fd, off) in enumerate([(f, o) for f in file_fds[:32] for o in (0, 16384)], start=1)
+            ), callsites=2, stickiness=0.85),
+            SyscallSpec("fsync", 18, single_arg_sets(file_fds[:32]), callsites=2, stickiness=0.85),
+            SyscallSpec("lseek", 10, tuple(ArgSetSpec(values=(fd, 0, 0), weight=1.0 / r) for r, fd in enumerate(file_fds[:16], start=1))),
+            SyscallSpec("openat", 6, _openat_sets((_OPEN_RDWR, _OPEN_CREAT))),
+            SyscallSpec("close", 6, single_arg_sets(file_fds[:32])),
+            SyscallSpec("fstat", 4, single_arg_sets(file_fds[:16])),
+            SyscallSpec("futex", 2, _futex_sets((128, 129), (1,))),
+        ),
+        fig2_targets=_targets(1.10, 1.08, 1.22, 1.40),
+    )
+
+
+def _hpcc() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="hpcc",
+        kind="micro",
+        description="GUPS from the HPC Challenge benchmark (compute-bound)",
+        syscalls=(
+            SyscallSpec("write", 10, _rw_sets((1,), (64, 512))),
+            SyscallSpec("read", 6, _rw_sets((0, 3), (4096,))),
+            SyscallSpec("mmap", 4, _mmap_sets((_MMAP_ANON_RW_BIG, _MMAP_ANON_RW))),
+            SyscallSpec("munmap", 3, single_arg_sets((1 << 21,))),
+            SyscallSpec("futex", 3, _futex_sets((0, 1), (1,))),
+            SyscallSpec("brk", 2, arg_sets=()),
+            SyscallSpec("sched_yield", 2, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.04, 1.03, 1.08, 1.13),
+    )
+
+
+def _unixbench_syscall() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="unixbench-syscall",
+        kind="micro",
+        description="UnixBench syscall exercise in mix mode",
+        syscalls=(
+            SyscallSpec("dup", 20, single_arg_sets(tuple(range(0, 12))), callsites=4, stickiness=0.85),
+            SyscallSpec("close", 20, single_arg_sets(tuple(range(3, 67)), skew=0.8), callsites=8, stickiness=0.85),
+            SyscallSpec("getpid", 16, arg_sets=()),
+            SyscallSpec("getuid", 14, arg_sets=()),
+            SyscallSpec("umask", 14, single_arg_sets((0o22, 0o77, 0o27, 0, 0o02, 0o07, 0o70, 0o72))),
+            SyscallSpec("getgid", 8, arg_sets=()),
+            SyscallSpec("getppid", 8, arg_sets=()),
+        ),
+        fig2_targets=_targets(1.20, 1.16, 1.40, 1.68),
+    )
+
+
+def _ipc(name: str, description: str, syscalls: Tuple[SyscallSpec, ...], targets) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name, kind="micro", description=description, syscalls=syscalls,
+        fig2_targets=targets,
+    )
+
+
+def _fifo_ipc() -> WorkloadSpec:
+    return _ipc(
+        "fifo-ipc",
+        "IPC Bench FIFO ping-pong with 1000-byte packets",
+        (
+            SyscallSpec("read", 40, _rw_sets((3,), tuple([1000] + list(range(24, 1000, 48))), skew=1.4), callsites=4, stickiness=0.9),
+            SyscallSpec("write", 40, _rw_sets((4,), tuple([1000] + list(range(16, 1000, 56))), skew=1.4), callsites=4, stickiness=0.9),
+            SyscallSpec("poll", 10, tuple((ArgSetSpec(values=(1, 0)),))),
+            SyscallSpec("openat", 5, _openat_sets((_OPEN_RDONLY, _OPEN_WRONLY_APPEND))),
+            SyscallSpec("close", 5, single_arg_sets((3, 4))),
+        ),
+        _targets(1.14, 1.10, 1.30, 1.52),
+    )
+
+
+def _pipe_ipc() -> WorkloadSpec:
+    return _ipc(
+        "pipe-ipc",
+        "IPC Bench pipe ping-pong with 1000-byte packets",
+        (
+            SyscallSpec("read", 46, _rw_sets((3,), tuple([1000] + list(range(24, 1000, 48))), skew=1.4), callsites=4, stickiness=0.9),
+            SyscallSpec("write", 46, _rw_sets((4,), tuple([1000] + list(range(16, 1000, 56))), skew=1.4), callsites=4, stickiness=0.9),
+            SyscallSpec("pipe2", 4, single_arg_sets((0,))),
+            SyscallSpec("close", 4, single_arg_sets((3, 4))),
+        ),
+        _targets(1.14, 1.10, 1.30, 1.52),
+    )
+
+
+def _domain_ipc() -> WorkloadSpec:
+    return _ipc(
+        "domain-ipc",
+        "IPC Bench Unix-domain-socket ping-pong with 1000-byte packets",
+        (
+            SyscallSpec("sendto", 42, _sendto_sets((5,), tuple([1000] + list(range(32, 1000, 64)))), callsites=4, stickiness=0.9),
+            SyscallSpec("recvfrom", 42, _recvfrom_sets((5,), tuple([1000] + list(range(24, 1000, 72)))), callsites=4, stickiness=0.9),
+            SyscallSpec("socket", 4, tuple((ArgSetSpec(values=(1, 1, 0)),))),
+            SyscallSpec("connect", 4, tuple((ArgSetSpec(values=(5, 110)),))),
+            SyscallSpec("close", 4, single_arg_sets((5,))),
+            SyscallSpec("futex", 4, _futex_sets((128, 129), (1,))),
+        ),
+        _targets(1.12, 1.09, 1.28, 1.48),
+    )
+
+
+def _mq_ipc() -> WorkloadSpec:
+    return _ipc(
+        "mq-ipc",
+        "IPC Bench POSIX message-queue ping-pong with 1000-byte packets",
+        (
+            SyscallSpec("mq_timedsend", 42, tuple(
+                ArgSetSpec(values=(3, size, prio), weight=1.0 / r)
+                for r, (size, prio) in enumerate(
+                    [(s, p) for s in [1000] + list(range(40, 1000, 96)) for p in (0, 1)], start=1
+                )
+            ), callsites=3, stickiness=0.9),
+            SyscallSpec("mq_timedreceive", 42, tuple(
+                ArgSetSpec(values=(3, size), weight=1.0 / r)
+                for r, size in enumerate([1000] + list(range(40, 1000, 80)), start=1)
+            ), callsites=3, stickiness=0.9),
+            SyscallSpec("mq_open", 4, tuple((ArgSetSpec(values=(0x42, 0o644)),))),
+            SyscallSpec("close", 4, single_arg_sets((3,))),
+            SyscallSpec("futex", 8, _futex_sets((0, 1), (1,))),
+        ),
+        _targets(1.10, 1.07, 1.17, 1.32),
+    )
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_catalog() -> Dict[str, WorkloadSpec]:
+    """All fifteen workloads, keyed by name."""
+    workloads = (
+        _httpd(),
+        _nginx(),
+        _elasticsearch(),
+        _mysql(),
+        _cassandra(),
+        _redis(),
+        _grep(),
+        _pwgen(),
+        _sysbench_fio(),
+        _hpcc(),
+        _unixbench_syscall(),
+        _fifo_ipc(),
+        _pipe_ipc(),
+        _domain_ipc(),
+        _mq_ipc(),
+    )
+    return {w.name: w for w in workloads}
+
+
+CATALOG = build_catalog()
+MACRO_WORKLOADS = tuple(w for w in CATALOG.values() if w.kind == "macro")
+MICRO_WORKLOADS = tuple(w for w in CATALOG.values() if w.kind == "micro")

@@ -1,0 +1,153 @@
+"""Trace generation from workload models.
+
+Produces :class:`SyscallTrace` streams whose locality matches the
+paper's characterisation (Section IV-C): skewed syscall popularity,
+few argument sets per syscall with sticky per-call-site preferences,
+and short reuse distances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.rng import DEFAULT_SEED, make_rng
+from repro.syscalls.events import SyscallTrace, make_event
+from repro.workloads.model import ArgSetSpec, SyscallSpec, WorkloadSpec
+
+#: Synthetic text segment base for generated call-site PCs.
+TEXT_BASE = 0x0000_5555_5555_0000
+
+
+def _preferred_set(workload: str, syscall: str, site: int, num_sets: int) -> int:
+    """Stable hash-spread preferred argument set for one call site."""
+    digest = hashlib.sha256(f"{workload}/{syscall}/pref{site}".encode()).digest()
+    return int.from_bytes(digest[4:8], "little") % num_sets
+
+
+def callsite_pc(workload: str, syscall: str, site_index: int) -> int:
+    """A stable, 4-byte-aligned synthetic PC for one call site."""
+    digest = hashlib.sha256(f"{workload}/{syscall}/{site_index}".encode()).digest()
+    offset = int.from_bytes(digest[:4], "little") & 0x00FF_FFFC
+    return TEXT_BASE + offset
+
+
+@dataclass
+class _SyscallSampler:
+    spec: SyscallSpec
+    pcs: Tuple[int, ...]
+    arg_sets: Tuple[ArgSetSpec, ...]
+    arg_weights: Tuple[float, ...]
+    #: Preferred argument-set index per call site (locality anchor).
+    preferred: Tuple[int, ...]
+
+
+class TraceGenerator:
+    """Deterministic trace generator for one workload model."""
+
+    def __init__(self, workload: WorkloadSpec, seed: int = DEFAULT_SEED) -> None:
+        self.workload = workload
+        self._rng = make_rng(seed, f"trace:{workload.name}")
+        self._samplers: List[_SyscallSampler] = []
+        self._weights: List[float] = []
+        for spec in workload.syscalls:
+            pcs = tuple(
+                callsite_pc(workload.name, spec.name, i) for i in range(spec.callsites)
+            )
+            arg_sets = spec.arg_sets or (ArgSetSpec(values=()),)
+            # Each call site anchors on a hash-spread argument set, so
+            # preferences cover the whole population (a server's accept
+            # loop sees whichever fds the kernel handed it, not the
+            # numerically first ones).
+            preferred = tuple(
+                _preferred_set(workload.name, spec.name, i, len(arg_sets))
+                for i in range(spec.callsites)
+            )
+            self._samplers.append(
+                _SyscallSampler(
+                    spec=spec,
+                    pcs=pcs,
+                    arg_sets=arg_sets,
+                    arg_weights=tuple(s.weight for s in arg_sets),
+                    preferred=preferred,
+                )
+            )
+            self._weights.append(spec.weight)
+
+    def events(self, count: int) -> SyscallTrace:
+        """Generate *count* syscall events."""
+        rng = self._rng
+        samplers = self._samplers
+        weights = self._weights
+        trace = SyscallTrace()
+        chosen = rng.choices(range(len(samplers)), weights=weights, k=count)
+        for sampler_index in chosen:
+            sampler = samplers[sampler_index]
+            spec = sampler.spec
+            site = rng.randrange(spec.callsites) if spec.callsites > 1 else 0
+            if len(sampler.arg_sets) == 1:
+                arg_set = sampler.arg_sets[0]
+            elif rng.random() < spec.stickiness:
+                arg_set = sampler.arg_sets[sampler.preferred[site]]
+            else:
+                arg_set = rng.choices(
+                    sampler.arg_sets, weights=sampler.arg_weights, k=1
+                )[0]
+            trace.append(
+                make_event(
+                    spec.name,
+                    arg_set.values,
+                    pc=sampler.pcs[site],
+                    table=self.workload.table,
+                )
+            )
+        return trace
+
+
+def generate_trace(
+    workload: WorkloadSpec, count: int, seed: int = DEFAULT_SEED
+) -> SyscallTrace:
+    """Convenience wrapper: one-shot trace for *workload*."""
+    return TraceGenerator(workload, seed=seed).events(count)
+
+
+def coverage_trace(workload: WorkloadSpec) -> SyscallTrace:
+    """One event per (syscall, argument set): a full-coverage profiling
+    pass.  The paper's toolkit assumes the profiling run observes every
+    combination the application will issue in production (otherwise the
+    production process would be killed); this makes that coverage
+    explicit and deterministic."""
+    trace = SyscallTrace()
+    for spec in workload.syscalls:
+        pc = callsite_pc(workload.name, spec.name, 0)
+        arg_sets = spec.arg_sets or (ArgSetSpec(values=()),)
+        for arg_set in arg_sets:
+            trace.append(
+                make_event(spec.name, arg_set.values, pc=pc, table=workload.table)
+            )
+    return trace
+
+
+def profile_trace(
+    workload: WorkloadSpec,
+    seed: int = DEFAULT_SEED,
+    count: int = 20_000,
+    include_startup: bool = True,
+) -> SyscallTrace:
+    """The trace the strace-based toolkit records to build profiles.
+
+    An independent RNG stream models a separate profiling execution; the
+    coverage pass is prepended so the generated profile whitelists every
+    argument set the application can produce.  Like a real strace
+    session, the recording includes the process *start-up* tail (dynamic
+    linker, runtime init) — those syscalls end up in every application's
+    profile even though steady-state measurement never re-issues them
+    (the runtime-required share of Figure 15a).
+    """
+    from repro.workloads.startup import startup_events
+
+    trace = SyscallTrace(startup_events() if include_startup else ())
+    trace.extend(coverage_trace(workload))
+    trace.extend(TraceGenerator(workload, seed=seed ^ 0x5EED).events(count))
+    return trace

@@ -1,0 +1,134 @@
+"""Workload models: syscall mixes with controlled locality.
+
+The paper's workloads are real applications in Docker containers; we
+model each as a *syscall population*: which syscalls it issues, with
+what relative frequencies, from how many distinct call sites, and with
+which argument-set populations.  Frequencies and argument-set counts are
+shaped to match the paper's characterisation (Figure 3: 20 syscalls
+cover 86% of calls, argument sets per syscall are few and skewed, reuse
+distances are tens of syscalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.syscalls.table import LINUX_X86_64, SyscallTable
+
+
+@dataclass(frozen=True)
+class ArgSetSpec:
+    """One argument set a syscall is issued with, and its weight.
+
+    ``values`` are positional over the syscall's *checkable* (non-
+    pointer) argument slots, exactly as profiles whitelist them.
+    """
+
+    values: Tuple[int, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError("argument-set weight must be positive")
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """One syscall in a workload's population."""
+
+    name: str
+    weight: float
+    arg_sets: Tuple[ArgSetSpec, ...] = ()
+    callsites: int = 1
+    #: Probability that a call site re-issues its preferred argument set
+    #: (temporal locality knob; high values produce Figure 3's locality).
+    stickiness: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"{self.name}: weight must be positive")
+        if self.callsites < 1:
+            raise ConfigError(f"{self.name}: needs at least one call site")
+        if not 0.0 <= self.stickiness <= 1.0:
+            raise ConfigError(f"{self.name}: stickiness must be within [0, 1]")
+
+    def validate_against(self, table: SyscallTable) -> None:
+        sdef = table.by_name(self.name)
+        width = len(sdef.checkable_args)
+        for arg_set in self.arg_sets:
+            if len(arg_set.values) != width:
+                raise ConfigError(
+                    f"{self.name}: argument set {arg_set.values} does not match "
+                    f"{width} checkable arguments"
+                )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete workload model plus its calibration targets."""
+
+    name: str
+    kind: str  # "macro" | "micro"
+    description: str
+    syscalls: Tuple[SyscallSpec, ...]
+    #: Paper-reported (or Figure-2-estimated) normalised execution times
+    #: for the Seccomp regimes, used to calibrate application work and to
+    #: report paper-vs-measured in EXPERIMENTS.md.
+    fig2_targets: Mapping[str, float] = field(default_factory=dict)
+    table: SyscallTable = LINUX_X86_64
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("macro", "micro"):
+            raise ConfigError(f"{self.name}: kind must be macro or micro")
+        if not self.syscalls:
+            raise ConfigError(f"{self.name}: needs at least one syscall")
+        seen = set()
+        for spec in self.syscalls:
+            if spec.name in seen:
+                raise ConfigError(f"{self.name}: duplicate syscall {spec.name}")
+            seen.add(spec.name)
+            spec.validate_against(self.table)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(s.weight for s in self.syscalls)
+
+    @property
+    def num_distinct_arg_sets(self) -> int:
+        return sum(max(1, len(s.arg_sets)) for s in self.syscalls)
+
+    def syscall_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.syscalls)
+
+
+def uniform_arg_sets(value_lists: Sequence[Sequence[int]]) -> Tuple[ArgSetSpec, ...]:
+    """Cartesian-free helper: each entry of *value_lists* is one argument
+    set (a tuple of values over the checkable args), weighted by a
+    Zipf-like decay so early sets dominate, as observed in Figure 3."""
+    specs = []
+    for rank, values in enumerate(value_lists, start=1):
+        specs.append(ArgSetSpec(values=tuple(values), weight=1.0 / rank))
+    return tuple(specs)
+
+
+def fd_arg_sets(
+    fds: Sequence[int], sizes: Sequence[int], skew: float = 1.0
+) -> Tuple[ArgSetSpec, ...]:
+    """Argument sets for (fd, size)-shaped syscalls like read/write."""
+    specs = []
+    rank = 1
+    for fd in fds:
+        for size in sizes:
+            specs.append(ArgSetSpec(values=(fd, size), weight=1.0 / rank**skew))
+            rank += 1
+    return tuple(specs)
+
+
+def single_arg_sets(values: Sequence[int], skew: float = 1.0) -> Tuple[ArgSetSpec, ...]:
+    """Argument sets for syscalls with a single checkable argument."""
+    return tuple(
+        ArgSetSpec(values=(value,), weight=1.0 / rank**skew)
+        for rank, value in enumerate(values, start=1)
+    )

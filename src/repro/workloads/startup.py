@@ -1,0 +1,73 @@
+"""Process start-up syscalls: the dynamic-linker / runtime-init tail.
+
+Profiling a real application with strace records its start-up — execve,
+the dynamic linker mapping libraries, TLS and signal setup — before the
+steady-state loop begins.  Those syscalls appear in every application's
+profile (part of the ~20% "runtime-required" share of Figure 15a) even
+though steady-state measurement windows never re-execute them.
+
+:func:`startup_events` reproduces a typical glibc/ld.so start-up
+sequence; the trace generator prepends it to *profiling* traces only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.syscalls.events import SyscallEvent, make_event
+
+#: Synthetic text address for start-up call sites (ld.so / libc init).
+_STARTUP_PC_BASE = 0x7F00_0000_0000
+
+# (syscall, checkable-arg values) in realistic start-up order.
+_SEQUENCE = (
+    ("execve", ()),
+    ("brk", ()),
+    ("arch_prctl", (0x3001, 0)),            # ARCH_CET_STATUS probe
+    ("access", (4,)),                        # R_OK on ld.so.preload
+    ("openat", (0xFFFFFF9C, 0x80000, 0)),    # ld.so.cache, O_RDONLY|O_CLOEXEC
+    ("fstat", (3,)),
+    ("mmap", (65536, 1, 0x2, 3, 0)),         # cache map, PROT_READ, MAP_PRIVATE
+    ("close", (3,)),
+    # Library loading loop: open/read ELF header/map segments, per lib.
+    ("openat", (0xFFFFFF9C, 0x80000, 0)),
+    ("read", (3, 832)),                      # ELF header
+    ("pread64", (3, 784, 64)),               # program headers
+    ("fstat", (3,)),
+    ("mmap", (2 << 20, 1, 0x802, 3, 0)),     # map text, MAP_PRIVATE|MAP_DENYWRITE
+    ("mmap", (1 << 20, 5, 0x812, 3, 0x26000)),
+    ("mmap", (360448, 1, 0x812, 3, 0x160000)),
+    ("mmap", (24576, 3, 0x812, 3, 0x1B8000)),
+    ("mprotect", (16384, 1)),
+    ("close", (3,)),
+    # Anonymous mappings for TLS and the stack guard.
+    ("mmap", (12288, 3, 0x22, 0xFFFFFFFF, 0)),
+    ("arch_prctl", (0x1002, 0)),             # ARCH_SET_FS
+    ("set_tid_address", ()),
+    ("set_robust_list", (24,)),
+    ("rseq", (32, 0, 0x53053053)),
+    ("mprotect", (16384, 1)),
+    ("mprotect", (8192, 1)),
+    ("prlimit64", (0, 3)),                   # RLIMIT_STACK query
+    ("munmap", (65536,)),
+    ("getrandom", (8, 1)),                   # AT_RANDOM-style seeding
+    ("brk", ()),
+    ("rt_sigaction", (13, 8)),               # SIGPIPE
+    ("rt_sigaction", (17, 8)),               # SIGCHLD
+    ("rt_sigprocmask", (0, 8)),              # SIG_BLOCK
+    ("futex", (129, 2147483647, 0)),         # first wake on init locks
+    ("exit_group", (0,)),                    # recorded when tracing to exit
+)
+
+
+def startup_events() -> List[SyscallEvent]:
+    """One realistic process start-up, as strace would record it."""
+    events = []
+    for index, (name, args) in enumerate(_SEQUENCE):
+        pc = _STARTUP_PC_BASE + 4 * index
+        events.append(make_event(name, args, pc=pc))
+    return events
+
+
+#: Names contributed by start-up (useful for assertions/metrics).
+STARTUP_SYSCALL_NAMES = tuple(sorted({name for name, _ in _SEQUENCE}))

@@ -1,0 +1,106 @@
+"""Tests for the arm64 table and ABI-agnosticism of the whole stack."""
+
+import pytest
+
+from repro.core.flows import Flow
+from repro.core.hardware import HardwareDraco
+from repro.core.software import SoftwareDraco, build_process_tables
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile, SyscallRule
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+from repro.syscalls.table import LINUX_X86_64
+from repro.syscalls.table_aarch64 import LINUX_AARCH64
+
+
+class TestTable:
+    @pytest.mark.parametrize(
+        "name,number",
+        [
+            ("read", 63),
+            ("write", 64),
+            ("openat", 56),
+            ("close", 57),
+            ("futex", 98),
+            ("getpid", 172),
+            ("clone", 220),
+            ("mmap", 222),
+            ("clone3", 435),
+        ],
+    )
+    def test_known_numbers(self, name, number):
+        assert LINUX_AARCH64.by_name(name).sid == number
+
+    def test_legacy_calls_absent(self):
+        for name in ("open", "fork", "pipe", "dup2", "poll", "select",
+                     "epoll_wait", "getdents", "stat"):
+            assert name not in LINUX_AARCH64
+
+    def test_signatures_shared_with_x86(self):
+        for entry in LINUX_AARCH64:
+            base = LINUX_X86_64.by_name(entry.name)
+            assert entry.nargs == base.nargs
+            assert entry.pointer_mask == base.pointer_mask
+
+    def test_id_spaces_differ(self):
+        assert LINUX_AARCH64.by_name("read").sid != LINUX_X86_64.by_name("read").sid
+
+    def test_size(self):
+        assert len(LINUX_AARCH64) > 250
+
+
+class TestAbiAgnosticStack:
+    def _trace(self):
+        return SyscallTrace(
+            [
+                make_event("read", (3, 100), pc=0x100, table=LINUX_AARCH64),
+                make_event("read", (4, 100), pc=0x100, table=LINUX_AARCH64),
+                make_event("getpid", pc=0x104, table=LINUX_AARCH64),
+            ]
+        )
+
+    def test_profile_generation_over_arm64(self):
+        profile = generate_complete(self._trace(), "arm", table=LINUX_AARCH64)
+        assert profile.allows(make_event("read", (3, 100), table=LINUX_AARCH64))
+        assert not profile.allows(make_event("read", (9, 9), table=LINUX_AARCH64))
+
+    def test_x86_numbering_means_nothing_here(self):
+        """SID 0 is read on x86-64 but io_setup on arm64: the profile
+        built over the arm64 table must not allow arm64's SID 0."""
+        profile = generate_complete(self._trace(), "arm", table=LINUX_AARCH64)
+        assert profile.rule_for(63) is not None     # arm64 read
+        assert profile.rule_for(0) is None          # arm64 io_setup
+
+    def test_software_draco_over_arm64(self):
+        profile = generate_complete(self._trace(), "arm", table=LINUX_AARCH64)
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = SoftwareDraco(
+            build_process_tables(profile, table=LINUX_AARCH64), module
+        )
+        event = make_event("read", (3, 100), table=LINUX_AARCH64)
+        assert draco.check(event).allowed
+        assert draco.check(event).path == "vat_hit"
+
+    def test_hardware_draco_over_arm64(self):
+        profile = generate_complete(self._trace(), "arm", table=LINUX_AARCH64)
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = HardwareDraco(
+            build_process_tables(profile, table=LINUX_AARCH64), module
+        )
+        event = make_event("read", (3, 100), pc=0x100, table=LINUX_AARCH64)
+        assert draco.on_syscall(event).flow is Flow.FLOW_6
+        assert draco.on_syscall(event).flow is Flow.FLOW_1
+
+    def test_profiles_are_not_portable_across_abis(self):
+        """A classic deployment bug our tables make visible: an x86-64
+        whitelist interpreted under arm64 numbering allows the wrong
+        syscalls entirely."""
+        x86_profile = SeccompProfile(
+            "x86", [SyscallRule(sid=LINUX_X86_64.by_name("read").sid)]
+        )
+        arm_read = make_event("read", (1, 1), table=LINUX_AARCH64)
+        # The arm64 read (63) is NOT covered by the x86 rule for SID 0.
+        assert not x86_profile.allows(arm_read)

@@ -1,0 +1,110 @@
+"""Tests for the abstract cBPF interpreter (action-cache emulation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpf.abstract import constant_action_for, possible_returns
+from repro.bpf.interpreter import run
+from repro.bpf.seccomp_data import SeccompData
+from repro.seccomp.actions import SECCOMP_RET_ALLOW, SECCOMP_RET_KILL_PROCESS
+from repro.seccomp.compiler import compile_linear, compile_binary_tree
+from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile
+from repro.seccomp.profiles import build_docker_default
+from repro.syscalls.events import make_event
+from repro.syscalls.table import LINUX_X86_64, sid
+
+
+def _profile():
+    return SeccompProfile.from_names(
+        "abs",
+        ["read", "getpid", "personality"],
+        arg_rules={
+            "personality": [
+                ArgSetRule((ArgCmp(0, 0),)),
+                ArgSetRule((ArgCmp(0, 0xFFFFFFFF),)),
+            ]
+        },
+    )
+
+
+class TestConstantAction:
+    def test_id_only_rule_is_constant_allow(self):
+        program = compile_linear(_profile())
+        assert constant_action_for(program, sid("read")) == SECCOMP_RET_ALLOW
+        assert constant_action_for(program, sid("getpid")) == SECCOMP_RET_ALLOW
+
+    def test_arg_checked_rule_is_not_constant(self):
+        program = compile_linear(_profile())
+        assert constant_action_for(program, sid("personality")) is None
+
+    def test_denied_syscall_is_constant_kill(self):
+        program = compile_linear(_profile())
+        action = constant_action_for(program, sid("mount"))
+        assert action == SECCOMP_RET_KILL_PROCESS
+
+    def test_wrong_arch_included(self):
+        """With a non-native arch the filter kills; per-arch analysis
+        keeps arch pinned, so the native result stays constant."""
+        program = compile_linear(_profile())
+        returns = possible_returns(program, sid("read"), arch=0xDEAD)
+        assert returns == frozenset({SECCOMP_RET_KILL_PROCESS})
+
+
+class TestPossibleReturns:
+    def test_arg_dependent_filter_returns_both(self):
+        program = compile_linear(_profile())
+        returns = possible_returns(program, sid("personality"))
+        assert SECCOMP_RET_ALLOW in returns
+        assert SECCOMP_RET_KILL_PROCESS in returns
+
+    def test_soundness_against_concrete_execution(self):
+        """Every concretely observed return value must be predicted."""
+        program = compile_linear(_profile())
+        for name, argsets in (
+            ("read", [(0, 0), (5, 5)]),
+            ("personality", [(0,), (1,), (0xFFFFFFFF,)]),
+            ("mount", [()]),
+        ):
+            predicted = possible_returns(program, sid(name))
+            for args in argsets:
+                event = make_event(name, args)
+                concrete = run(program, SeccompData.from_event(event)).return_value
+                assert concrete in predicted, (name, args)
+
+    @pytest.mark.parametrize("compiler", [compile_linear, compile_binary_tree])
+    def test_docker_default_mostly_cacheable(self, compiler):
+        """Docker's profile checks arguments on only two syscalls, so
+        nearly every allowed syscall is bitmap-cacheable (the upstream
+        measurement that justified the 5.11 feature)."""
+        profile = build_docker_default()
+        program = compiler(profile)
+        cacheable = 0
+        arg_dependent = []
+        probe = [d.sid for d in LINUX_X86_64][:80] + [
+            sid("personality"), sid("clone"), sid("mount"),
+        ]
+        for number in probe:
+            action = constant_action_for(program, number)
+            if action is not None and action == SECCOMP_RET_ALLOW:
+                cacheable += 1
+            elif action is None:
+                arg_dependent.append(number)
+        assert cacheable > 60
+        assert set(arg_dependent) == {sid("personality"), sid("clone")}
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nr=st.sampled_from([0, 1, 39, 135, 165]),
+        args=st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=3),
+    )
+    def test_abstract_covers_concrete(self, nr, args):
+        program = compile_linear(_profile())
+        predicted = possible_returns(program, nr)
+        entry = LINUX_X86_64.by_sid(nr)
+        checkable = entry.checkable_args
+        event = make_event(nr, tuple(args[: len(checkable)]))
+        concrete = run(program, SeccompData.from_event(event)).return_value
+        assert concrete in predicted

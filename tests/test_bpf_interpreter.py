@@ -1,0 +1,233 @@
+"""Tests for the cBPF interpreter — semantics and instruction counting."""
+
+import pytest
+
+from repro.bpf.assembler import ProgramBuilder
+from repro.bpf.insn import (
+    BPF_A,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_DIV,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MISC,
+    BPF_MOD,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_RET,
+    BPF_RSH,
+    BPF_ST,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_W,
+    BPF_X,
+    BPF_XOR,
+    jump,
+    stmt,
+)
+from repro.bpf.interpreter import run, run_many
+from repro.bpf.seccomp_data import NR_OFFSET, SeccompData, args_off
+from repro.common.errors import BpfRuntimeError
+
+DATA = SeccompData(nr=42, args=(7, 0xFFFFFFFF00000001))
+
+
+def _run(insns, data=DATA):
+    return run(insns, data)
+
+
+class TestReturns:
+    def test_ret_k(self):
+        result = _run([stmt(BPF_RET | BPF_K, 123)])
+        assert result.return_value == 123
+        assert result.instructions_executed == 1
+
+    def test_ret_a(self):
+        program = [stmt(BPF_LD | BPF_W | BPF_IMM, 55), stmt(BPF_RET | BPF_A)]
+        assert _run(program).return_value == 55
+
+
+from repro.bpf.insn import BPF_ABS as BPF_ABS_  # noqa: E402
+
+
+class TestLoads:
+    def test_ld_abs_nr(self):
+        program = [stmt(BPF_LD | BPF_W | BPF_ABS_, NR_OFFSET), stmt(BPF_RET | BPF_A)]
+        assert _run(program).return_value == 42
+
+    def test_ld_abs_arg_words(self):
+        low = [stmt(BPF_LD | BPF_W | BPF_ABS_, args_off(1)), stmt(BPF_RET | BPF_A)]
+        high = [stmt(BPF_LD | BPF_W | BPF_ABS_, args_off(1) + 4), stmt(BPF_RET | BPF_A)]
+        assert _run(low).return_value == 0x00000001
+        assert _run(high).return_value == 0xFFFFFFFF
+
+    def test_scratch_store_load(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 9),
+            stmt(BPF_ST, 3),
+            stmt(BPF_LD | BPF_W | BPF_IMM, 0),
+            stmt(BPF_LD | BPF_W | BPF_MEM, 3),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 9
+
+    def test_ldx_and_misc(self):
+        program = [
+            stmt(BPF_LDX | BPF_W | BPF_IMM, 17),
+            stmt(BPF_MISC | BPF_TXA),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 17
+
+    def test_tax(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 5),
+            stmt(BPF_MISC | BPF_TAX),
+            stmt(BPF_LD | BPF_W | BPF_IMM, 0),
+            stmt(BPF_ALU | BPF_ADD | BPF_X, 0),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 5
+
+
+class TestAluOps:
+    @pytest.mark.parametrize(
+        "op,k,expected",
+        [
+            (BPF_ADD, 2, 12),
+            (BPF_SUB, 3, 7),
+            (BPF_MUL, 4, 40),
+            (BPF_DIV, 3, 3),
+            (BPF_MOD, 3, 1),
+            (BPF_AND, 6, 2),
+            (BPF_OR, 5, 15),
+            (BPF_XOR, 2, 8),
+            (BPF_LSH, 2, 40),
+            (BPF_RSH, 1, 5),
+        ],
+    )
+    def test_alu_k(self, op, k, expected):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 10),
+            stmt(BPF_ALU | op | BPF_K, k),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == expected
+
+    def test_neg(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 1),
+            stmt(BPF_ALU | BPF_NEG, 0),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 0xFFFFFFFF
+
+    def test_add_wraps_u32(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 0xFFFFFFFF),
+            stmt(BPF_ALU | BPF_ADD | BPF_K, 2),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 1
+
+    def test_shift_past_width(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_IMM, 1),
+            stmt(BPF_ALU | BPF_LSH | BPF_K, 32),
+            stmt(BPF_RET | BPF_A),
+        ]
+        assert _run(program).return_value == 0
+
+    def test_div_by_zero_x_faults(self):
+        program = [
+            stmt(BPF_LDX | BPF_W | BPF_IMM, 0),
+            stmt(BPF_LD | BPF_W | BPF_IMM, 4),
+            stmt(BPF_ALU | BPF_DIV | BPF_X, 0),
+            stmt(BPF_RET | BPF_A),
+        ]
+        with pytest.raises(BpfRuntimeError):
+            _run(program)
+
+
+class TestJumps:
+    def test_jeq_taken_and_not(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_ABS_, NR_OFFSET),
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 42, 0, 1),
+            stmt(BPF_RET | BPF_K, 1),
+            stmt(BPF_RET | BPF_K, 2),
+        ]
+        assert _run(program).return_value == 1
+        assert _run(program, SeccompData(nr=7)).return_value == 2
+
+    @pytest.mark.parametrize(
+        "op,k,nr,expected",
+        [
+            (BPF_JGT, 41, 42, 1),
+            (BPF_JGT, 42, 42, 2),
+            (BPF_JGE, 42, 42, 1),
+            (BPF_JGE, 43, 42, 2),
+            (BPF_JSET, 0x2, 42, 1),  # 42 & 2 != 0
+            (BPF_JSET, 0x1, 42, 2),
+        ],
+    )
+    def test_compare_ops(self, op, k, nr, expected):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_ABS_, NR_OFFSET),
+            jump(BPF_JMP | op | BPF_K, k, 0, 1),
+            stmt(BPF_RET | BPF_K, 1),
+            stmt(BPF_RET | BPF_K, 2),
+        ]
+        assert _run(program, SeccompData(nr=nr)).return_value == expected
+
+    def test_ja_skips(self):
+        program = [
+            stmt(BPF_JMP | BPF_JA, 1),
+            stmt(BPF_RET | BPF_K, 1),
+            stmt(BPF_RET | BPF_K, 2),
+        ]
+        assert _run(program).return_value == 2
+
+
+class TestInstructionCounting:
+    def test_counts_taken_path_only(self):
+        program = [
+            stmt(BPF_LD | BPF_W | BPF_ABS_, NR_OFFSET),
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 42, 1, 0),
+            stmt(BPF_LD | BPF_W | BPF_IMM, 0),  # skipped when nr == 42
+            stmt(BPF_RET | BPF_K, 0),
+        ]
+        assert _run(program).instructions_executed == 3
+        assert _run(program, SeccompData(nr=1)).instructions_executed == 4
+
+    def test_run_many(self):
+        program = [stmt(BPF_RET | BPF_K, 0)]
+        results = run_many(program, [DATA, SeccompData(nr=1)])
+        assert len(results) == 2
+
+
+class TestBuilderIntegration:
+    def test_assembled_program_runs(self):
+        builder = ProgramBuilder()
+        builder.ld_abs(NR_OFFSET)
+        builder.jeq(42, "yes", "no")
+        builder.label("yes")
+        builder.ret_k(0xAA)
+        builder.label("no")
+        builder.ret_k(0xBB)
+        program = builder.assemble()
+        assert run(program, DATA).return_value == 0xAA
+        assert run(program, SeccompData(nr=0)).return_value == 0xBB

@@ -1,0 +1,185 @@
+"""Tests for the cBPF peephole optimizer, including the equivalence
+property: optimisation never changes a filter's decision."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpf.insn import (
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JMP,
+    BPF_K,
+    BPF_LD,
+    BPF_RET,
+    BPF_W,
+    BPF_ABS,
+    jump,
+    stmt,
+)
+from repro.bpf.interpreter import run
+from repro.bpf.optimizer import eliminate_dead_code, optimize, thread_jumps
+from repro.bpf.seccomp_data import NR_OFFSET, SeccompData
+from repro.bpf.verifier import verify
+from repro.seccomp.compiler import compile_linear, compile_binary_tree
+from repro.seccomp.profiles import build_docker_default
+from repro.syscalls.events import make_event
+
+RET_A_ = stmt(BPF_RET | BPF_K, 0xA)
+RET_B_ = stmt(BPF_RET | BPF_K, 0xB)
+LD_NR = stmt(BPF_LD | BPF_W | BPF_ABS, NR_OFFSET)
+
+
+class TestThreading:
+    def test_ja_chain_collapsed(self):
+        program = (
+            stmt(BPF_JMP | BPF_JA, 1),   # -> index 2
+            RET_A_,                      # dead
+            stmt(BPF_JMP | BPF_JA, 0),   # -> index 3
+            RET_B_,
+        )
+        threaded = thread_jumps(program)
+        # The first instruction now IS the final return.
+        assert threaded[0] == RET_B_
+
+    def test_conditional_threaded_through_ja(self):
+        program = (
+            LD_NR,
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 5, 0, 1),
+            stmt(BPF_JMP | BPF_JA, 1),   # taken path -> trampoline -> ret B
+            RET_A_,
+            RET_B_,
+        )
+        threaded = thread_jumps(program)
+        assert threaded[1].jt == 2  # straight to index 4 (RET_B_)
+
+    def test_decisions_preserved(self):
+        program = (
+            LD_NR,
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 5, 0, 1),
+            stmt(BPF_JMP | BPF_JA, 1),
+            RET_A_,
+            RET_B_,
+        )
+        optimized = optimize(program)
+        for nr in (5, 6):
+            data = SeccompData(nr=nr)
+            assert run(program, data).return_value == run(optimized, data).return_value
+
+
+class TestDeadCode:
+    def test_unreachable_removed(self):
+        program = (
+            stmt(BPF_JMP | BPF_JA, 1),
+            RET_A_,          # unreachable
+            RET_B_,
+        )
+        cleaned = eliminate_dead_code(program)
+        assert RET_A_ not in cleaned
+        assert run(cleaned, SeccompData(nr=0)).return_value == 0xB
+
+    def test_fully_reachable_untouched(self):
+        program = (LD_NR, RET_A_)
+        assert eliminate_dead_code(program) == program
+
+    def test_offsets_rewritten(self):
+        program = (
+            LD_NR,
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 0, 2),  # jf over 2 insns
+            RET_A_,
+            RET_A_,          # unreachable (jt falls into index 2)
+            RET_B_,
+        )
+        # Index 3 unreachable: jt->2, jf->4 both survive, jf rewritten.
+        cleaned = eliminate_dead_code(program)
+        verify(cleaned)
+        assert len(cleaned) == 4
+        assert run(cleaned, SeccompData(nr=0)).return_value == 0xA
+        assert run(cleaned, SeccompData(nr=1)).return_value == 0xB
+
+
+class TestOnRealFilters:
+    @pytest.mark.parametrize("compiler", [compile_linear, compile_binary_tree])
+    def test_docker_filter_shrinks_or_equal(self, compiler):
+        program = compiler(build_docker_default())
+        optimized = optimize(program)
+        assert len(optimized) <= len(program)
+        verify(optimized)
+
+    @pytest.mark.parametrize("compiler", [compile_linear, compile_binary_tree])
+    def test_docker_decisions_unchanged(self, compiler):
+        profile = build_docker_default()
+        program = compiler(profile)
+        optimized = optimize(program)
+        probes = [
+            make_event("read", (1, 2)),
+            make_event("mount"),
+            make_event("personality", (0xFFFFFFFF,)),
+            make_event("personality", (3,)),
+            make_event("clone", (0x10000000,)),
+            make_event("epoll_wait", (3, 64, 10)),
+            make_event("clone3", (8,)),
+        ]
+        for event in probes:
+            data = SeccompData.from_event(event)
+            assert (
+                run(program, data).return_value == run(optimized, data).return_value
+            ), event
+
+    def test_optimized_executes_fewer_or_equal_insns(self):
+        profile = build_docker_default()
+        program = compile_binary_tree(profile)
+        optimized = optimize(program)
+        event = make_event("epoll_wait", (3, 64, 10))
+        data = SeccompData.from_event(event)
+        assert (
+            run(optimized, data).instructions_executed
+            <= run(program, data).instructions_executed
+        )
+
+
+# -- property: optimisation is semantics-preserving --------------------------
+
+
+@st.composite
+def random_programs(draw):
+    """Small random (verified) programs built from loads, conditionals,
+    JAs, and returns."""
+    body_len = draw(st.integers(2, 12))
+    insns = []
+    for pc in range(body_len):
+        remaining = body_len - pc - 1
+        kind = draw(st.sampled_from(["ld", "jeq", "ja", "ret"]))
+        if remaining == 0:
+            kind = "ret"
+        if kind == "ld":
+            insns.append(LD_NR)
+        elif kind == "ret":
+            insns.append(stmt(BPF_RET | BPF_K, draw(st.integers(0, 3))))
+        elif kind == "ja":
+            insns.append(stmt(BPF_JMP | BPF_JA, draw(st.integers(0, remaining - 1))))
+        else:
+            jt = draw(st.integers(0, remaining - 1))
+            jf = draw(st.integers(0, remaining - 1))
+            insns.append(
+                jump(BPF_JMP | BPF_JEQ | BPF_K, draw(st.integers(0, 3)), jt, jf)
+            )
+    program = tuple(insns) + (stmt(BPF_RET | BPF_K, 99),)
+    verify(program)
+    return program
+
+
+class TestProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(program=random_programs(), nr=st.integers(0, 4))
+    def test_optimize_preserves_semantics(self, program, nr):
+        optimized = optimize(program)
+        data = SeccompData(nr=nr)
+        assert run(program, data).return_value == run(optimized, data).return_value
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=random_programs())
+    def test_optimize_idempotent(self, program):
+        once = optimize(program)
+        twice = optimize(once)
+        assert once == twice

@@ -1,0 +1,109 @@
+"""Tests for the cBPF verifier — the kernel's attach-time checks."""
+
+import pytest
+
+from repro.bpf.insn import (
+    BPF_ABS,
+    BPF_ALU,
+    BPF_DIV,
+    BPF_H,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JMP,
+    BPF_K,
+    BPF_LD,
+    BPF_MAXINSNS,
+    BPF_MEM,
+    BPF_MEMWORDS,
+    BPF_RET,
+    BPF_ST,
+    BPF_W,
+    Insn,
+    jump,
+    stmt,
+)
+from repro.bpf.verifier import verify
+from repro.common.errors import BpfVerifyError
+
+RET0 = stmt(BPF_RET | BPF_K, 0)
+
+
+class TestBasicShape:
+    def test_minimal_program(self):
+        verify([RET0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BpfVerifyError):
+            verify([])
+
+    def test_too_long_rejected(self):
+        with pytest.raises(BpfVerifyError):
+            verify([RET0] * (BPF_MAXINSNS + 1))
+
+    def test_must_end_with_return(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_W | BPF_ABS, 0)])
+
+
+class TestJumps:
+    def test_in_range_conditional(self):
+        verify([jump(BPF_JMP | BPF_JEQ | BPF_K, 1, 0, 1), RET0, RET0])
+
+    def test_out_of_range_jt(self):
+        with pytest.raises(BpfVerifyError):
+            verify([jump(BPF_JMP | BPF_JEQ | BPF_K, 1, 5, 0), RET0])
+
+    def test_out_of_range_ja(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_JMP | BPF_JA, 9), RET0])
+
+    def test_invalid_jump_op(self):
+        with pytest.raises(BpfVerifyError):
+            verify([Insn(code=BPF_JMP | 0x70), RET0])
+
+    def test_all_paths_must_return(self):
+        # jt path returns, jf path falls off the end via a load.
+        program = [
+            jump(BPF_JMP | BPF_JEQ | BPF_K, 1, 1, 0),
+            stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+            RET0,
+        ]
+        verify(program)  # both paths end in the final ret
+
+    def test_fall_through_past_end(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_W | BPF_ABS, 0), stmt(BPF_LD | BPF_W | BPF_ABS, 0)])
+
+
+class TestLoads:
+    def test_seccomp_load_must_be_word(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_H | BPF_ABS, 0), RET0])
+
+    def test_unaligned_load(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_W | BPF_ABS, 2), RET0])
+
+    def test_out_of_bounds_load(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_W | BPF_ABS, 64), RET0])
+
+    def test_scratch_memory_bounds(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_LD | BPF_W | BPF_MEM, BPF_MEMWORDS), RET0])
+        verify([stmt(BPF_ST, 0), RET0])
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_ST, BPF_MEMWORDS), RET0])
+
+
+class TestAlu:
+    def test_division_by_zero_constant(self):
+        with pytest.raises(BpfVerifyError):
+            verify([stmt(BPF_ALU | BPF_DIV | BPF_K, 0), RET0])
+
+    def test_division_by_nonzero_ok(self):
+        verify([stmt(BPF_ALU | BPF_DIV | BPF_K, 2), RET0])
+
+    def test_invalid_alu_op(self):
+        with pytest.raises(BpfVerifyError):
+            verify([Insn(code=BPF_ALU | 0xB0), RET0])

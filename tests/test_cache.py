@@ -1,0 +1,150 @@
+"""Tests for the set-associative cache and the memory hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.params import CacheParams, ProcessorParams
+
+
+def _small_cache(ways=2, sets=4, line=64):
+    return SetAssociativeCache(
+        CacheParams("T", sets * ways * line, ways, access_cycles=1, line_bytes=line)
+    )
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = _small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63)
+
+    def test_lru_eviction(self):
+        cache = _small_cache(ways=2, sets=1, line=64)
+        a, b, c = 0x0, 0x40, 0x80
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a -> b is LRU
+        cache.access(c)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_probe_no_side_effects(self):
+        cache = _small_cache()
+        assert not cache.probe(0x1000)
+        assert not cache.probe(0x1000)  # still absent: probe didn't allocate
+        assert cache.occupancy == 0
+
+    def test_invalidate(self):
+        cache = _small_cache()
+        cache.access(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.probe(0x40)
+        assert not cache.invalidate(0x40)
+
+    def test_invalidate_all(self):
+        cache = _small_cache()
+        for addr in (0, 64, 128):
+            cache.access(addr)
+        cache.invalidate_all()
+        assert cache.occupancy == 0
+
+    def test_evict_lru_fraction(self):
+        cache = _small_cache(ways=4, sets=1)
+        for i in range(4):
+            cache.access(i * 64 * 1)  # same set? addresses 0,64,...: set = line % 1 = 0
+        evicted = cache.evict_lru_fraction(0.5)
+        assert evicted == 2
+        assert cache.occupancy == 2
+
+    def test_evict_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            _small_cache().evict_lru_fraction(1.5)
+
+    def test_hit_rate(self):
+        cache = _small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+        cache.reset_stats()
+        assert cache.hit_rate == 0.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheParams("bad", 1000, 3, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), max_size=64))
+    def test_occupancy_bounded_by_capacity(self, addresses):
+        cache = _small_cache(ways=2, sets=4)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.occupancy <= 8
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.access(0x1234)
+        assert first.level == "DRAM"
+        second = hierarchy.access(0x1234)
+        assert second.level == "L1"
+        assert second.cycles < first.cycles
+
+    def test_fill_path(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0x40)
+        hierarchy.l1.invalidate(0x40)
+        assert hierarchy.access(0x40).level == "L2"
+
+    def test_parallel_access_is_max(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0x40)  # now L1
+        latency = hierarchy.access_parallel((0x40, 0xDEAD00))
+        dram = MemoryHierarchy().access(0xDEAD00).cycles
+        assert latency == dram
+
+    def test_parallel_empty(self):
+        assert MemoryHierarchy().access_parallel(()) == 0
+
+    def test_pollution_evicts(self):
+        hierarchy = MemoryHierarchy()
+        for i in range(16):
+            hierarchy.access(i * 64)
+        before = hierarchy.l1.occupancy
+        hierarchy.pollute(5_000_000)
+        assert hierarchy.l1.occupancy < before
+
+    def test_zero_pollution_noop(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0)
+        hierarchy.pollute(0)
+        assert hierarchy.l1.probe(0)
+
+    def test_invalidate_all(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0)
+        hierarchy.invalidate_all()
+        assert hierarchy.access(0).level == "DRAM"
+
+    def test_latencies_match_params(self):
+        params = ProcessorParams()
+        hierarchy = MemoryHierarchy(params)
+        miss = hierarchy.access(0)
+        assert miss.cycles == (
+            params.l1d.access_cycles
+            + params.l2.access_cycles
+            + params.l3.access_cycles
+            + params.dram_cycles
+        )
+        hit = hierarchy.access(0)
+        assert hit.cycles == params.l1d.access_cycles

@@ -1,0 +1,87 @@
+"""Tests for repro.common.rng — determinism and namespacing."""
+
+import pytest
+
+from repro.common.rng import (
+    derive_seed,
+    make_rng,
+    round_robin_interleave,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_matters(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit(self):
+        assert 0 <= derive_seed(123, "x") < 2**64
+
+
+class TestMakeRng:
+    def test_reproducible_stream(self):
+        a = make_rng(7, "trace")
+        b = make_rng(7, "trace")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_independent_labels(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        rng = make_rng(0, "t")
+        assert weighted_choice(rng, ["only"], [1.0]) == "only"
+
+    def test_respects_zero_weightless(self):
+        rng = make_rng(0, "t")
+        picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_length_mismatch(self):
+        rng = make_rng(0, "t")
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        rng = make_rng(0, "t")
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+
+
+class TestZipfWeights:
+    def test_first_is_largest(self):
+        weights = zipf_weights(5)
+        assert weights[0] == max(weights)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_skew_sharpens(self):
+        flat = zipf_weights(4, skew=0.5)
+        sharp = zipf_weights(4, skew=2.0)
+        assert sharp[3] / sharp[0] < flat[3] / flat[0]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestRoundRobin:
+    def test_interleaves(self):
+        out = list(round_robin_interleave([[1, 3], [2, 4]]))
+        assert out == [1, 2, 3, 4]
+
+    def test_uneven_lengths(self):
+        out = list(round_robin_interleave([[1, 3, 5], [2]]))
+        assert out == [1, 2, 3, 5]
+
+    def test_empty(self):
+        assert list(round_robin_interleave([])) == []

@@ -1,0 +1,96 @@
+"""Tests for repro.common.stats."""
+
+import math
+
+import pytest
+
+from repro.common.stats import geomean, histogram, mean, normalise, percentile, ratio
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([5.0, 5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        data = [3, 1, 2]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 3
+
+    def test_single_value(self):
+        assert percentile([42], 99) == 42
+
+    def test_out_of_range_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestHistogram:
+    def test_counts(self):
+        assert histogram("abca") == {"a": 2, "b": 1, "c": 1}
+
+    def test_empty(self):
+        assert histogram([]) == {}
+
+
+class TestNormalise:
+    def test_sums_to_one(self):
+        probs = normalise({"a": 1, "b": 3})
+        assert probs["a"] == pytest.approx(0.25)
+        assert probs["b"] == pytest.approx(0.75)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalise({})
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(3, 4) == 0.75
+
+    def test_zero_over_zero(self):
+        assert ratio(0, 0) == 0.0
+
+    def test_nonzero_over_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio(1, 0)

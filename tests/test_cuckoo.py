@@ -1,0 +1,146 @@
+"""Tests for the 2-ary cuckoo hash table (the VAT's structure)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError, CuckooInsertError
+from repro.hashing.cuckoo import CuckooTable
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        table = CuckooTable(8)
+        table.insert(b"key", ("value",))
+        found = table.lookup(b"key")
+        assert found is not None
+        assert found.value == ("value",)
+
+    def test_missing_key(self):
+        table = CuckooTable(8)
+        assert table.lookup(b"nope") is None
+        assert b"nope" not in table
+
+    def test_update_in_place(self):
+        table = CuckooTable(8)
+        table.insert(b"k", 1)
+        table.insert(b"k", 2)
+        assert table.lookup(b"k").value == 2
+        assert len(table) == 1
+
+    def test_which_hash_consistent(self):
+        """The hash id returned by insert locates the entry on lookup."""
+        table = CuckooTable(16)
+        for i in range(6):
+            key = bytes([i])
+            which = table.insert(key, i)
+            found = table.lookup(key)
+            assert found.which_hash == which
+            assert table.index_for(key, which) == found.slot_index
+
+    def test_candidate_indices(self):
+        table = CuckooTable(16)
+        i1, i2 = table.candidate_indices(b"abc")
+        assert 0 <= i1 < 16 and 0 <= i2 < 16
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            CuckooTable(1)
+
+    def test_remove(self):
+        table = CuckooTable(8)
+        table.insert(b"k", 1)
+        assert table.remove(b"k")
+        assert not table.remove(b"k")
+        assert len(table) == 0
+
+    def test_evict_any(self):
+        table = CuckooTable(8)
+        table.insert(b"k", 1)
+        assert table.evict_any() == b"k"
+        assert table.evict_any() is None
+
+    def test_clear(self):
+        table = CuckooTable(8)
+        table.insert(b"a", 1)
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup(b"a") is None
+
+    def test_slot_at_bounds(self):
+        table = CuckooTable(8)
+        with pytest.raises(ConfigError):
+            table.slot_at(8)
+
+    def test_items(self):
+        table = CuckooTable(8)
+        table.insert(b"a", 1)
+        table.insert(b"b", 2)
+        assert sorted(table.items()) == [(b"a", 1), (b"b", 2)]
+
+
+class TestRelocation:
+    def test_kicks_relocate_residents(self):
+        """Filling near capacity exercises relocation; all inserted keys
+        must stay findable."""
+        table = CuckooTable(64, max_kicks=64)
+        keys = [bytes([i, i ^ 0x5A]) for i in range(28)]  # ~44% load
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        for i, key in enumerate(keys):
+            found = table.lookup(key)
+            assert found is not None and found.value == i
+
+    def test_insert_failure_raises(self):
+        # With 2 slots and 3 keys, some insertion must fail.
+        table = CuckooTable(2, max_kicks=8)
+        with pytest.raises(CuckooInsertError):
+            for i in range(8):
+                table.insert(bytes([i]), i)
+
+
+def _insert_with_eviction(table, key, value):
+    """The VAT layer's policy (Section VII-A): each failed relocation
+    round drops one entry; retry until the key is resident.  Returns the
+    keys dropped along the way."""
+    evicted = []
+    for _ in range(8):
+        try:
+            table.insert(key, value)
+            return evicted
+        except CuckooInsertError as error:
+            evicted.append(error.dropped_key)
+    resident = table.slot_at(table.index_for(key, 0))
+    if resident is not None and resident.key != key:
+        evicted.append(resident.key)
+    table.force_place(key, value)
+    return evicted
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), max_size=24, unique=True))
+    def test_surviving_keys_found(self, keys):
+        """Every key that was not explicitly evicted remains findable at
+        one of its two locations, with a consistent recorded hash."""
+        table = CuckooTable(max(4, 2 * len(keys)), max_kicks=64)
+        surviving = {}
+        for i, key in enumerate(keys):
+            for victim in _insert_with_eviction(table, key, i):
+                surviving.pop(victim, None)
+            surviving[key] = i
+        assert len(table) == len(surviving)
+        for key, value in surviving.items():
+            found = table.lookup(key)
+            assert found is not None
+            assert found.value == value
+            # Invariant: the entry sits where its recorded hash says.
+            assert table.index_for(key, found.which_hash) == found.slot_index
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=16, unique=True))
+    def test_load_factor_matches_size(self, keys):
+        table = CuckooTable(2 * len(keys) + 2, max_kicks=64)
+        for i, key in enumerate(keys):
+            _insert_with_eviction(table, key, i)
+        assert table.load_factor == pytest.approx(len(table) / table.num_slots)

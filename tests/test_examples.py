@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example stays runnable.
+
+The heavier examples (quickstart, faas_latency, multicore_containers)
+share cached workload contexts, so the whole module stays fast after
+the first context build.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart",
+            "container_sandbox",
+            "hardware_walkthrough",
+            "faas_latency",
+            "hypercall_guard",
+            "pledge_sandbox",
+            "multicore_containers",
+        } <= names
+
+    def test_container_sandbox(self):
+        out = _run_example("container_sandbox")
+        assert "KILLED" in out
+        assert "blocked 3/3" in out
+
+    def test_pledge_sandbox(self):
+        out = _run_example("pledge_sandbox")
+        assert "DENY" in out and "allow" in out
+        assert "spt_only" in out
+
+    def test_hypercall_guard(self):
+        out = _run_example("hypercall_guard")
+        assert "FLOW_1" in out
+        assert "DENY" in out
+
+    def test_hardware_walkthrough(self):
+        out = _run_example("hardware_walkthrough")
+        assert "FLOW_6" in out and "FLOW_1" in out
+        assert "STB hit rate" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self):
+        out = _run_example("quickstart")
+        assert "draco-hw-complete" in out
+        assert "insecure" in out

@@ -1,0 +1,172 @@
+"""Tests for the experiment layer: runner, calibration, result shapes.
+
+These use short traces and a subset of workloads so the suite stays
+fast; the benchmarks regenerate the full artifacts.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import fig2_seccomp_overhead, fig13_hit_rates, fig15_security
+from repro.experiments import table1_flows, table2_config, table3_hwcost
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import build_context, get_context
+from repro.workloads.catalog import CATALOG, REGIME_COMPLETE
+
+EVENTS = 3000
+WORKLOADS = ("nginx", "pipe-ipc")
+
+
+@pytest.fixture(scope="module")
+def nginx_ctx():
+    return get_context("nginx", events=EVENTS)
+
+
+class TestCalibration:
+    def test_complete_hits_target(self, nginx_ctx):
+        """The calibration contract: syscall-complete lands on its
+        Figure 2 target by construction."""
+        target = nginx_ctx.spec.fig2_targets[REGIME_COMPLETE]
+        measured = nginx_ctx.evaluate(REGIME_COMPLETE).normalized_time
+        assert measured == pytest.approx(target, abs=0.02)
+
+    def test_work_cycles_positive(self, nginx_ctx):
+        assert nginx_ctx.work_cycles >= 20.0
+
+    def test_missing_target_rejected(self):
+        from repro.workloads.model import SyscallSpec, WorkloadSpec
+
+        spec = WorkloadSpec(
+            name="untargeted",
+            kind="micro",
+            description="",
+            syscalls=(SyscallSpec("getpid", 1, ()),),
+        )
+        with pytest.raises(ConfigError):
+            build_context(spec, events=100)
+
+    def test_context_cached(self):
+        assert get_context("nginx", events=EVENTS) is get_context("nginx", events=EVENTS)
+
+
+class TestRegimeFactory:
+    def test_unknown_regime(self, nginx_ctx):
+        with pytest.raises(ConfigError):
+            nginx_ctx.make_regime("quantum-draco")
+
+    def test_fresh_instances(self, nginx_ctx):
+        a = nginx_ctx.make_regime("syscall-complete")
+        b = nginx_ctx.make_regime("syscall-complete")
+        assert a is not b
+
+    def test_regime_ordering(self, nginx_ctx):
+        """The paper's headline ordering for one workload."""
+        insecure = nginx_ctx.evaluate("insecure").normalized_time
+        hw = nginx_ctx.evaluate("draco-hw-complete").normalized_time
+        sw = nginx_ctx.evaluate("draco-sw-complete").normalized_time
+        seccomp = nginx_ctx.evaluate("syscall-complete").normalized_time
+        seccomp_2x = nginx_ctx.evaluate("syscall-complete-2x").normalized_time
+        assert insecure == 1.0
+        assert insecure < hw < sw < seccomp < seccomp_2x
+
+    def test_hw_within_paper_bound(self, nginx_ctx):
+        hw = nginx_ctx.evaluate("draco-hw-complete").normalized_time
+        assert hw < 1.03
+
+    def test_sw_draco_flat_across_2x(self, nginx_ctx):
+        sw = nginx_ctx.evaluate("draco-sw-complete").normalized_time
+        sw2x = nginx_ctx.evaluate("draco-sw-complete-2x").normalized_time
+        assert abs(sw2x - sw) < 0.02
+
+
+class TestExperimentResult:
+    def test_format_table(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="demo",
+            columns=("a", "b"),
+            rows=((1, 2.5), ("x", 3.0)),
+            notes=("hello",),
+        )
+        text = result.format_table()
+        assert "demo" in text and "2.500" in text and "note: hello" in text
+
+    def test_column_and_row_access(self):
+        result = ExperimentResult("X", "t", ("k", "v"), (("a", 1), ("b", 2)))
+        assert result.column("v") == (1, 2)
+        assert result.row_dict("b") == {"k": "b", "v": 2}
+        with pytest.raises(KeyError):
+            result.row_dict("zzz")
+
+
+class TestFig2Experiment:
+    def test_subset_run(self):
+        result = fig2_seccomp_overhead.run(events=EVENTS, workloads=WORKLOADS)
+        assert result.experiment_id == "Fig 2"
+        names = result.column("workload")
+        assert "nginx" in names and "average-macro" in names
+        row = result.row_dict("nginx")
+        assert row["insecure"] == 1.0
+        assert row["syscall-complete-2x"] > row["syscall-complete"] > row["syscall-noargs"]
+
+
+class TestFig13Experiment:
+    def test_hit_rates_in_range(self):
+        result = fig13_hit_rates.run(events=EVENTS, workloads=("pipe-ipc",))
+        row = result.row_dict("pipe-ipc")
+        for key in ("stb_hit_rate", "slb_access_hit_rate", "slb_preload_hit_rate"):
+            assert 0.0 <= row[key] <= 1.0
+        assert row["stb_hit_rate"] > 0.95  # tiny, sticky workload
+
+
+class TestFig15Experiment:
+    def test_structure(self):
+        result = fig15_security.run(events=EVENTS, workloads=WORKLOADS)
+        linux = result.row_dict("linux")
+        docker = result.row_dict("docker-default")
+        nginx = result.row_dict("nginx")
+        assert linux["syscalls_allowed"] > docker["syscalls_allowed"]
+        assert docker["syscalls_allowed"] > 5 * nginx["syscalls_allowed"]
+        assert nginx["argument_values_allowed"] > 50
+
+
+class TestTableExperiments:
+    def test_table1_covers_all_six_flows(self):
+        result = table1_flows.run()
+        flows = set(result.column("flow"))
+        for flow in ("FLOW_1", "FLOW_2", "FLOW_3", "FLOW_4", "FLOW_5", "FLOW_6"):
+            assert flow in flows
+
+    def test_table1_fast_flows_are_cheap(self):
+        result = table1_flows.run()
+        for row in result.rows:
+            entry = dict(zip(result.columns, row))
+            if entry["paper_speed"] == "fast":
+                assert entry["stall_cycles"] <= 10
+
+    def test_table2_matches_paper(self):
+        result = table2_config.run()
+        for row in result.rows:
+            parameter, configured, paper = row
+            assert str(configured)  # present and formatted
+
+    def test_table3_has_four_structures(self):
+        result = table3_hwcost.run()
+        assert len(result.rows) == 4
+        for row in result.rows:
+            entry = dict(zip(result.columns, row))
+            assert entry["area_mm2"] == pytest.approx(entry["paper_area"], rel=0.05)
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        from repro.experiments.registry import REGISTRY, by_id
+
+        ids = {e.experiment_id for e in REGISTRY}
+        assert {"fig2", "fig3", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig16", "fig17", "table1", "table2", "table3", "vat"} <= ids
+        assert by_id("fig2").title
+        with pytest.raises(KeyError):
+            by_id("fig99")

@@ -1,0 +1,69 @@
+"""Tests for the FaaS invocation-lifecycle model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.kernel.faas import FaaSRunner, compare_deployments
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+from repro.workloads.startup import startup_events
+
+
+def _function_trace(length=120):
+    events = []
+    for i in range(length):
+        events.append(make_event("getrandom", (32, 0), pc=0x200))
+        events.append(make_event("write", (1, 33), pc=0x204))
+    return SyscallTrace(events[:length])
+
+
+@pytest.fixture(scope="module")
+def profile():
+    recording = SyscallTrace(startup_events())
+    recording.extend(_function_trace())
+    return generate_complete(recording, "fn")
+
+
+class TestRunner:
+    def test_warm_reuses_one_pipeline(self, profile):
+        runner = FaaSRunner(profile)
+        stats = runner.run(_function_trace(), invocations=4, mode="warm")
+        assert len(stats.invocations) == 4
+        # Only the first invocation validates through the OS.
+        assert stats.invocations[0].os_validations > 0
+        assert all(inv.os_validations == 0 for inv in stats.invocations[2:])
+
+    def test_cold_revalidates_every_time(self, profile):
+        runner = FaaSRunner(profile)
+        stats = runner.run(_function_trace(), invocations=4, mode="cold")
+        assert all(inv.os_validations > 0 for inv in stats.invocations)
+
+    def test_warm_cold_gap(self, profile):
+        results = compare_deployments(profile, _function_trace(), invocations=5)
+        assert results["cold"].mean_check_cycles > results["warm"].mean_check_cycles
+
+    def test_cold_penalty_shrinks_with_longer_functions(self, profile):
+        """Amortisation: longer invocations dilute the cold VAT build."""
+        runner = FaaSRunner(profile)
+        short = runner.run(_function_trace(40), invocations=3, mode="cold")
+        long = runner.run(_function_trace(400), invocations=3, mode="cold")
+        assert long.mean_check_cycles < short.mean_check_cycles
+
+    def test_first_vs_steady_ratio(self, profile):
+        runner = FaaSRunner(profile)
+        warm = runner.run(_function_trace(), invocations=5, mode="warm")
+        assert warm.first_vs_steady_ratio > 1.5  # cold start is visible
+        cold = runner.run(_function_trace(), invocations=5, mode="cold")
+        assert cold.first_vs_steady_ratio == pytest.approx(1.0, abs=0.3)
+
+    def test_validation(self, profile):
+        runner = FaaSRunner(profile)
+        with pytest.raises(ConfigError):
+            runner.run(_function_trace(), invocations=0)
+        with pytest.raises(ConfigError):
+            runner.run(_function_trace(), invocations=1, mode="tepid")
+
+    def test_startup_can_be_excluded(self, profile):
+        runner = FaaSRunner(profile, include_startup=False)
+        stats = runner.run(_function_trace(60), invocations=1)
+        assert stats.invocations[0].syscalls == 60

@@ -1,0 +1,103 @@
+"""Tests for runtime filter tightening (the coherence corner).
+
+seccomp(2) lets a process attach additional filters at any time; every
+cached validation must be flushed or the old, looser verdicts would
+bypass the new filter — a security bug the flush prevents.
+"""
+
+import pytest
+
+from repro.core.hardware import HardwareDraco
+from repro.core.software import SoftwareDraco, build_process_tables
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+
+PC = 0x100
+
+
+def _loose_profile():
+    trace = SyscallTrace(
+        [make_event("read", (3, 100), pc=PC), make_event("read", (4, 100), pc=PC)]
+    )
+    return generate_complete(trace, "loose")
+
+
+def _strict_program():
+    """A second filter allowing only read(3, 100): read(4, ...) dies."""
+    trace = SyscallTrace([make_event("read", (3, 100), pc=PC)])
+    return compile_linear(generate_complete(trace, "strict"))
+
+
+class TestSoftwareFlush:
+    def test_stale_validation_never_survives_attach(self):
+        profile = _loose_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = SoftwareDraco(build_process_tables(profile), module)
+
+        victim = make_event("read", (4, 100), pc=PC)
+        assert draco.check(victim).allowed          # validated and cached
+        assert draco.check(victim).path == "vat_hit"
+
+        draco.attach_additional_filter(_strict_program())
+        assert not draco.check(victim).allowed      # no stale allow!
+
+    def test_still_allowed_combinations_revalidate(self):
+        profile = _loose_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = SoftwareDraco(build_process_tables(profile), module)
+        survivor = make_event("read", (3, 100), pc=PC)
+        draco.check(survivor)
+        draco.attach_additional_filter(_strict_program())
+        first = draco.check(survivor)
+        assert first.allowed
+        assert first.path == "filter_run"           # re-validated fresh
+        assert draco.check(survivor).path == "vat_hit"
+
+    def test_without_flush_would_be_a_bug(self):
+        """Demonstrate the bug the flush prevents: attaching a filter
+        directly to the module (bypassing the Draco-aware path) leaves a
+        stale VAT entry that contradicts the module's own decision."""
+        profile = _loose_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = SoftwareDraco(build_process_tables(profile), module)
+        victim = make_event("read", (4, 100), pc=PC)
+        draco.check(victim)
+        module.attach(_strict_program())            # raw attach: no flush
+        stale = draco.check(victim)
+        assert stale.allowed                        # the cache lies...
+        assert not module.check(victim).allowed     # ...the filter knows
+
+
+class TestHardwareFlush:
+    def test_stale_slb_and_vat_flushed(self):
+        profile = _loose_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = HardwareDraco(build_process_tables(profile), module)
+
+        victim = make_event("read", (4, 100), pc=PC)
+        draco.on_syscall(victim)
+        assert draco.on_syscall(victim).stall_cycles <= 10  # SLB-warm
+
+        draco.attach_additional_filter(_strict_program())
+        result = draco.on_syscall(victim)
+        assert not result.allowed
+        assert result.os_invoked
+
+    def test_survivors_recover_through_os_path(self):
+        profile = _loose_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = HardwareDraco(build_process_tables(profile), module)
+        survivor = make_event("read", (3, 100), pc=PC)
+        draco.on_syscall(survivor)
+        draco.attach_additional_filter(_strict_program())
+        first = draco.on_syscall(survivor)
+        assert first.allowed and first.os_invoked   # revalidated by the OS
+        warm = draco.on_syscall(survivor)
+        assert warm.allowed and not warm.os_invoked

@@ -1,0 +1,46 @@
+"""Tests for Table I flow classification."""
+
+import pytest
+
+from repro.core.flows import Flow, classify
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "stb,preload,access,expected",
+        [
+            (True, True, True, Flow.FLOW_1),
+            (True, True, False, Flow.FLOW_2),
+            (True, False, True, Flow.FLOW_3),
+            (True, False, False, Flow.FLOW_4),
+            (False, None, True, Flow.FLOW_5),
+            (False, None, False, Flow.FLOW_6),
+        ],
+    )
+    def test_lattice(self, stb, preload, access, expected):
+        assert classify(stb, preload, access) is expected
+
+    def test_stb_hit_requires_preload_outcome(self):
+        with pytest.raises(ValueError):
+            classify(True, None, True)
+
+    def test_stb_miss_forbids_preload(self):
+        with pytest.raises(ValueError):
+            classify(False, True, True)
+
+
+class TestSpeedClasses:
+    def test_fast_flows(self):
+        """Table I: flows 1, 3, 5 are fast; 2, 4, 6 are slow."""
+        assert Flow.FLOW_1.is_fast
+        assert Flow.FLOW_3.is_fast
+        assert Flow.FLOW_5.is_fast
+        assert not Flow.FLOW_2.is_fast
+        assert not Flow.FLOW_4.is_fast
+        assert not Flow.FLOW_6.is_fast
+
+    def test_spt_only_fast(self):
+        assert Flow.SPT_ONLY.is_fast
+
+    def test_os_check_slow(self):
+        assert not Flow.OS_CHECK.is_fast

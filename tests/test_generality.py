@@ -1,0 +1,123 @@
+"""Tests for the Section VIII generality layer (hypercalls, sentry,
+sandboxed library calls)."""
+
+import pytest
+
+from repro.core.flows import Flow
+from repro.generality.hypercalls import (
+    SCHEDOP_SHUTDOWN,
+    SCHEDOP_YIELD,
+    guest_vm_policy,
+    xen_domain,
+)
+from repro.generality.sentry import (
+    library_domain,
+    sentry_domain,
+    web_app_sentry_policy,
+)
+from repro.generality.transitions import (
+    DracoTransitionChecker,
+    RequestDef,
+    TransitionDomain,
+)
+from repro.seccomp.profile import ArgCmp, ArgSetRule
+
+
+class TestTransitionDomain:
+    def test_request_building(self):
+        domain = TransitionDomain("toy", [RequestDef(0, "ping", 1), RequestDef(1, "pong", 0)])
+        event = domain.request("ping", (42,), pc=0x10)
+        assert event.sid == 0
+        assert event.args == (42,)
+
+    def test_policy_over_domain(self):
+        domain = TransitionDomain("toy", [RequestDef(0, "ping", 1), RequestDef(1, "pong", 0)])
+        policy = domain.policy("p", allowed=["pong"])
+        assert policy.allows(domain.request("pong"))
+        assert not policy.allows(domain.request("ping", (1,)))
+
+    def test_operand_rules(self):
+        domain = TransitionDomain("toy", [RequestDef(0, "ping", 1)])
+        policy = domain.policy(
+            "p", allowed=["ping"],
+            operand_rules={"ping": [ArgSetRule((ArgCmp(0, 7),))]},
+        )
+        assert policy.allows(domain.request("ping", (7,)))
+        assert not policy.allows(domain.request("ping", (8,)))
+
+
+class TestHypercalls:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        domain = xen_domain()
+        return domain, DracoTransitionChecker.build(domain, guest_vm_policy(domain))
+
+    def test_allowed_hypercall(self, checker):
+        domain, draco = checker
+        event = domain.request("sched_op", (SCHEDOP_YIELD, 0), pc=0x100)
+        assert draco.check_software(event).allowed
+        assert draco.check_hardware(event).allowed
+
+    def test_pinned_command_denied(self, checker):
+        domain, draco = checker
+        # SCHEDOP_SHUTDOWN is not whitelisted for the guest.
+        event = domain.request("sched_op", (SCHEDOP_SHUTDOWN, 0), pc=0x100)
+        assert not draco.check_software(event).allowed
+        assert not draco.check_hardware(event).allowed
+
+    def test_privileged_hypercall_denied(self, checker):
+        domain, draco = checker
+        event = domain.request("domctl", (1,), pc=0x104)
+        assert not draco.check_hardware(event).allowed
+
+    def test_hardware_caching_kicks_in(self, checker):
+        domain, draco = checker
+        event = domain.request("event_channel_op", (4, 9), pc=0x200)
+        first = draco.check_hardware(event)
+        second = draco.check_hardware(event)
+        assert first.allowed and second.allowed
+        assert second.flow is Flow.FLOW_1
+        assert second.stall_cycles < first.stall_cycles
+
+    def test_zero_operand_request_is_spt_only(self, checker):
+        domain, draco = checker
+        event = domain.request("iret", pc=0x300)
+        result = draco.check_hardware(event)
+        assert result.allowed
+        assert result.flow is Flow.SPT_ONLY
+
+
+class TestSentryAndLibrary:
+    def test_sentry_policy(self):
+        domain = sentry_domain()
+        draco = DracoTransitionChecker.build(domain, web_app_sentry_policy(domain))
+        assert draco.check_software(
+            domain.request("net_connect", (2, 443), pc=0x10)
+        ).allowed
+        assert not draco.check_software(
+            domain.request("net_connect", (2, 22), pc=0x10)
+        ).allowed
+        assert not draco.check_software(
+            domain.request("thread_create", (0,), pc=0x14)
+        ).allowed
+
+    def test_library_domain(self):
+        domain = library_domain()
+        policy = domain.policy(
+            "decoder",
+            allowed=["lib_init", "decode_header", "decode_frame", "free_image"],
+            operand_rules={"lib_init": [ArgSetRule((ArgCmp(0, 2),))]},
+        )
+        draco = DracoTransitionChecker.build(domain, policy)
+        assert draco.check_hardware(domain.request("lib_init", (2,), pc=0x20)).allowed
+        assert not draco.check_hardware(domain.request("lib_init", (1,), pc=0x20)).allowed
+        assert not draco.check_hardware(domain.request("scale_image", (1, 1), pc=0x24)).allowed
+
+    def test_software_cache_reuse(self):
+        domain = sentry_domain()
+        draco = DracoTransitionChecker.build(domain, web_app_sentry_policy(domain))
+        event = domain.request("file_open", (0, 0), pc=0x30)
+        first = draco.check_software(event)
+        second = draco.check_software(event)
+        assert first.path == "filter_run"
+        assert second.path == "vat_hit"

@@ -1,0 +1,218 @@
+"""Tests for the hardware implementation of Draco (Section VI)."""
+
+import pytest
+
+from repro.core.flows import Flow
+from repro.core.hardware import HardwareDraco
+from repro.core.software import build_process_tables
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.toolkit import generate_complete, generate_noargs
+from repro.syscalls.events import SyscallTrace, make_event
+
+PC_READ = 0x400100
+PC_WRITE = 0x400200
+
+
+@pytest.fixture
+def training_trace():
+    return SyscallTrace(
+        [
+            make_event("read", (3, 100), pc=PC_READ),
+            make_event("read", (4, 100), pc=PC_READ),
+            make_event("write", (1, 64), pc=PC_WRITE),
+            make_event("getppid", pc=0x400300),
+        ]
+    )
+
+
+def _draco(profile, **kwargs):
+    tables = build_process_tables(profile)
+    module = SeccompKernelModule()
+    module.attach(compile_linear(profile))
+    return HardwareDraco(tables, module, **kwargs)
+
+
+@pytest.fixture
+def draco(training_trace):
+    return _draco(generate_complete(training_trace, "t"))
+
+
+class TestFlowProgression:
+    def test_cold_then_warm(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        first = draco.on_syscall(event)
+        second = draco.on_syscall(event)
+        assert first.flow is Flow.FLOW_6
+        assert first.os_invoked
+        assert second.flow is Flow.FLOW_1
+        assert not second.os_invoked
+        assert second.stall_cycles < first.stall_cycles
+
+    def test_fast_flow_stall_is_tiny(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        result = draco.on_syscall(event)
+        assert result.stall_cycles <= 10
+
+    def test_argset_flip_is_flow_2(self, draco):
+        draco.on_syscall(make_event("read", (3, 100), pc=PC_READ))
+        draco.on_syscall(make_event("read", (4, 100), pc=PC_READ))
+        draco.on_syscall(make_event("read", (3, 100), pc=PC_READ))
+        # Re-validate (4,100) at the same PC: STB hash now points at
+        # (3,100); both are SLB-resident, so this is flow 1 or 2
+        # depending on hash placement — assert it is never OS work.
+        result = draco.on_syscall(make_event("read", (4, 100), pc=PC_READ))
+        assert not result.os_invoked
+        assert result.allowed
+
+    def test_stb_flush_gives_flow_5(self, draco):
+        event = make_event("write", (1, 64), pc=PC_WRITE)
+        draco.on_syscall(event)
+        draco.stb.invalidate_all()
+        result = draco.on_syscall(event)
+        assert result.flow is Flow.FLOW_5
+
+    def test_slb_flush_gives_flow_3(self, draco):
+        event = make_event("write", (1, 64), pc=PC_WRITE)
+        draco.on_syscall(event)
+        draco.slb.invalidate_all()
+        result = draco.on_syscall(event)
+        assert result.flow is Flow.FLOW_3
+        assert not result.os_invoked  # preload fetched it from the VAT
+
+    def test_spt_only_path(self, draco):
+        result = draco.on_syscall(make_event("getppid", pc=0x400300))
+        assert result.flow is Flow.SPT_ONLY
+        assert result.allowed
+
+
+class TestDenials:
+    def test_unknown_syscall_denied(self, draco):
+        result = draco.on_syscall(make_event("mount", pc=0x400400))
+        assert not result.allowed
+        assert result.os_invoked
+
+    def test_wrong_args_denied_every_time(self, draco):
+        event = make_event("read", (9, 9), pc=PC_READ)
+        for _ in range(3):
+            result = draco.on_syscall(event)
+            assert not result.allowed
+            assert result.os_invoked  # denials are never cached
+
+
+class TestEquivalence:
+    def test_decisions_match_reference(self, training_trace):
+        profile = generate_complete(training_trace, "t")
+        draco = _draco(profile)
+        probes = [
+            make_event("read", (3, 100), pc=PC_READ),
+            make_event("read", (4, 100), pc=PC_READ),
+            make_event("read", (3, 100), pc=PC_READ),
+            make_event("read", (5, 100), pc=PC_READ),
+            make_event("write", (1, 64), pc=PC_WRITE),
+            make_event("getppid", pc=0x300),
+            make_event("mount", pc=0x500),
+        ] * 2
+        for event in probes:
+            assert draco.on_syscall(event).allowed == profile.allows(event)
+
+    def test_noargs_profile_spt_only(self, training_trace):
+        draco = _draco(generate_noargs(training_trace, "t"))
+        result = draco.on_syscall(make_event("read", (42, 42), pc=PC_READ))
+        assert result.flow is Flow.SPT_ONLY
+        assert result.allowed
+
+
+class TestContextSwitch:
+    def test_invalidates_structures(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.context_switch(same_process=False)
+        assert draco.stb.occupancy == 0
+        assert draco.slb.subtable(2).occupancy == 0
+        assert draco.spt.occupancy == 0
+
+    def test_same_process_keeps_structures(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.context_switch(same_process=True)
+        assert draco.stb.occupancy > 0
+
+    def test_resume_restores_spt(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.context_switch(same_process=False)
+        draco.resume_process()
+        # SPT warm again: the next check is not an OS SPT miss.
+        result = draco.on_syscall(event)
+        assert result.allowed
+        assert result.flow is not Flow.OS_CHECK
+
+    def test_recovery_after_switch_uses_vat(self, draco):
+        """After invalidation the VAT still holds validations, so the
+        first re-check walks the VAT (slow flow) but avoids the OS."""
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.context_switch(same_process=False)
+        draco.resume_process()
+        result = draco.on_syscall(event)
+        assert not result.os_invoked
+
+
+class TestSpeculationSafety:
+    def test_squash_clears_temp_buffer(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.slb.invalidate_all()
+        # Trigger a preload (STB hit, SLB preload miss) by hand.
+        draco._preload(event)
+        assert len(draco.temp) > 0
+        draco.on_squash()
+        assert len(draco.temp) == 0
+
+    def test_preload_probe_never_allocates(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        before = draco.slb.subtable(2).occupancy
+        draco._preload(event)
+        assert draco.slb.subtable(2).occupancy == before
+
+
+class TestPreloadDisabled:
+    def test_no_preload_still_correct(self, training_trace):
+        profile = generate_complete(training_trace, "t")
+        draco = _draco(profile, preload_enabled=False)
+        event = make_event("read", (3, 100), pc=PC_READ)
+        first = draco.on_syscall(event)
+        second = draco.on_syscall(event)
+        assert first.allowed and second.allowed
+        assert second.flow is Flow.FLOW_5  # STB unused -> always miss
+
+    def test_preload_hides_vat_latency(self, training_trace):
+        """The ablation the paper motivates: preloading turns SLB misses
+        into fast flows."""
+        profile = generate_complete(training_trace, "t")
+        with_preload = _draco(profile)
+        without = _draco(profile, preload_enabled=False)
+        event = make_event("write", (1, 64), pc=PC_WRITE)
+        for draco in (with_preload, without):
+            draco.on_syscall(event)
+        with_preload.slb.invalidate_all()
+        without.slb.invalidate_all()
+        fast = with_preload.on_syscall(event)
+        slow = without.on_syscall(event)
+        assert fast.stall_cycles < slow.stall_cycles
+
+
+class TestStats:
+    def test_flow_accounting(self, draco):
+        event = make_event("read", (3, 100), pc=PC_READ)
+        draco.on_syscall(event)
+        draco.on_syscall(event)
+        stats = draco.stats
+        assert stats.syscalls == 2
+        assert stats.os_invocations == 1
+        assert stats.flows[Flow.FLOW_6] == 1
+        assert stats.flows[Flow.FLOW_1] == 1
+        assert stats.mean_stall_cycles > 0

@@ -1,0 +1,154 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a complete user journey rather than one module:
+trace -> profile -> JSON -> redeploy -> Draco; workload -> calibration
+-> all regimes; scheduler + SMT + generality interplay.
+"""
+
+import json
+
+import pytest
+
+from repro.core import HardwareDraco, SoftwareDraco, build_process_tables
+from repro.core.flows import Flow
+from repro.experiments.runner import get_context
+from repro.kernel.regimes import DracoHwRegime, SeccompRegime
+from repro.kernel.simulator import run_trace
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.json_io import profile_from_json, profile_to_json
+from repro.seccomp.toolkit import generate_bundle
+from repro.tools.profilegen import main as profilegen_main
+from repro.tracing.strace import parse_strace
+from repro.workloads.catalog import CATALOG
+from repro.workloads.generator import generate_trace, profile_trace
+
+EVENTS = 2500
+
+
+class TestStraceToDracoPipeline:
+    """The full operator workflow: record, generate, deploy, accelerate."""
+
+    STRACE = "\n".join(
+        [
+            'openat(AT_FDCWD, "/srv/index.html", O_RDONLY|O_CLOEXEC) = 7',
+            'read(7, "<html>"..., 65536) = 512',
+            "close(7) = 0",
+            'accept4(3, {sa_family=AF_INET}, [16], SOCK_CLOEXEC) = 8',
+            'read(8, "GET /"..., 8192) = 120',
+            'write(8, "HTTP/1.1 200"..., 4096) = 700',
+            "close(8) = 0",
+            "getpid() = 1000",
+        ]
+        * 4
+    )
+
+    def test_record_generate_deploy_accelerate(self, tmp_path):
+        # 1. Parse the (real-format) strace log.
+        trace = parse_strace(self.STRACE)
+        assert len(trace) == 32
+
+        # 2. Generate + export the complete profile via the CLI.
+        log = tmp_path / "srv.strace"
+        log.write_text(self.STRACE)
+        out = tmp_path / "srv.json"
+        assert profilegen_main([str(log), "-o", str(out)]) == 0
+
+        # 3. Reload the deployed JSON and bind hardware Draco to it.
+        profile = profile_from_json(out.read_text(), name="srv")
+        module = SeccompKernelModule()
+        for program in compile_profile_chunked(profile):
+            module.attach(program)
+        draco = HardwareDraco(build_process_tables(profile), module)
+
+        # 4. Replay the recorded trace: everything allowed; repeats fast.
+        for event in trace:
+            assert draco.on_syscall(event).allowed
+        warm = draco.on_syscall(trace[0])
+        assert warm.flow in (Flow.FLOW_1, Flow.FLOW_3, Flow.FLOW_5, Flow.SPT_ONLY)
+
+        # 5. Off-trace values are rejected by the same deployment.
+        from repro.syscalls.events import make_event
+
+        assert not draco.on_syscall(make_event("read", (9, 9), pc=0x1)).allowed
+        assert not draco.on_syscall(make_event("execve", (), pc=0x2)).allowed
+
+
+class TestJsonRoundTripThroughRegimes:
+    def test_workload_profile_survives_deployment(self):
+        """Generated profile -> JSON -> reload -> same normalised time
+        ordering under every regime."""
+        spec = CATALOG["pwgen"]
+        trace = generate_trace(spec, EVENTS)
+        bundle = generate_bundle(profile_trace(spec, count=2000), "pwgen")
+        reloaded = profile_from_json(profile_to_json(bundle.complete), name="pwgen")
+
+        original = run_trace(
+            trace, SeccompRegime(bundle.complete), 400.0, 150.0
+        ).mean_check_cycles
+        redeployed = run_trace(
+            trace, SeccompRegime(reloaded), 400.0, 150.0
+        ).mean_check_cycles
+        # Identical decisions; near-identical cost (rule order may vary).
+        assert redeployed == pytest.approx(original, rel=0.10)
+
+
+class TestCalibratedStackConsistency:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return get_context("mq-ipc", events=EVENTS)
+
+    def test_all_regimes_agree_on_decisions(self, ctx):
+        """Every regime admits the entire (covered) workload trace."""
+        for regime_name in (
+            "docker-default", "syscall-complete", "draco-sw-complete",
+            "draco-hw-complete",
+        ):
+            result = ctx.evaluate(regime_name)  # strict=True inside
+            assert result.events_measured > 0
+
+    def test_overhead_ordering_stable_across_seeds(self):
+        for seed in (11, 22):
+            ctx = get_context("mq-ipc", events=EVENTS, seed=seed)
+            seccomp = ctx.evaluate("syscall-complete").normalized_time
+            sw = ctx.evaluate("draco-sw-complete").normalized_time
+            hw = ctx.evaluate("draco-hw-complete").normalized_time
+            assert hw < sw < seccomp
+
+    def test_hw_regime_statistics_consistent(self, ctx):
+        regime = ctx.make_regime("draco-hw-complete")
+        result = run_trace(
+            ctx.trace, regime, ctx.work_cycles, ctx.syscall_base_cycles
+        )
+        stats = regime.draco.stats
+        assert stats.syscalls == len(ctx.trace)
+        assert sum(stats.flows.values()) == stats.syscalls
+        # Fast flows dominate in steady state.
+        fast = sum(count for flow, count in stats.flows.items() if flow.is_fast)
+        assert fast / stats.syscalls > 0.8
+
+
+class TestSoftwareHardwareAgreement:
+    def test_same_profile_same_decisions_different_costs(self):
+        spec = CATALOG["fifo-ipc"]
+        trace = generate_trace(spec, 1200)
+        bundle = generate_bundle(profile_trace(spec, count=1500), "fifo")
+
+        def module():
+            m = SeccompKernelModule()
+            for program in compile_profile_chunked(bundle.complete):
+                m.attach(program)
+            return m
+
+        sw = SoftwareDraco(build_process_tables(bundle.complete), module())
+        hw = HardwareDraco(build_process_tables(bundle.complete), module())
+        sw_cost = 0.0
+        hw_cost = 0.0
+        for event in trace:
+            sw_outcome = sw.check(event)
+            hw_outcome = hw.on_syscall(event)
+            assert sw_outcome.allowed == hw_outcome.allowed
+            sw_cost += sw_outcome.cycles
+            hw_cost += hw_outcome.stall_cycles
+        # The paper's bottom line, per syscall: hardware << software.
+        assert hw_cost < sw_cost / 3

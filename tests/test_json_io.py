@@ -1,0 +1,152 @@
+"""Tests for Docker/Moby JSON profile import/export."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ProfileError
+from repro.seccomp.json_io import (
+    profile_from_dict,
+    profile_from_json,
+    profile_to_dict,
+    profile_to_json,
+)
+from repro.seccomp.profile import ArgCmp, ArgSetRule, CmpOp, SeccompProfile
+from repro.seccomp.profiles import build_docker_default
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+
+MOBY_SAMPLE = {
+    "defaultAction": "SCMP_ACT_ERRNO",
+    "defaultErrnoRet": 1,
+    "architectures": ["SCMP_ARCH_X86_64"],
+    "syscalls": [
+        {"names": ["read", "write", "close"], "action": "SCMP_ACT_ALLOW", "args": []},
+        {
+            "names": ["personality"],
+            "action": "SCMP_ACT_ALLOW",
+            "args": [{"index": 0, "value": 0, "valueTwo": 0, "op": "SCMP_CMP_EQ"}],
+        },
+        {
+            "names": ["personality"],
+            "action": "SCMP_ACT_ALLOW",
+            "args": [
+                {"index": 0, "value": 4294967295, "valueTwo": 0, "op": "SCMP_CMP_EQ"}
+            ],
+        },
+        {
+            "names": ["clone"],
+            "action": "SCMP_ACT_ALLOW",
+            "args": [
+                {
+                    "index": 0,
+                    "value": 0x7E020000,
+                    "valueTwo": 0,
+                    "op": "SCMP_CMP_MASKED_EQ",
+                }
+            ],
+        },
+        {"names": ["vm86", "vm86old"], "action": "SCMP_ACT_ALLOW", "args": []},
+    ],
+}
+
+
+class TestImport:
+    def test_id_rules(self):
+        profile = profile_from_dict(MOBY_SAMPLE)
+        assert profile.allows(make_event("read", (1, 2)))
+        assert not profile.allows(make_event("mount"))
+
+    def test_arg_alternatives(self):
+        profile = profile_from_dict(MOBY_SAMPLE)
+        assert profile.allows(make_event("personality", (0,)))
+        assert profile.allows(make_event("personality", (0xFFFFFFFF,)))
+        assert not profile.allows(make_event("personality", (8,)))
+
+    def test_masked_eq_moby_convention(self):
+        """value = mask, valueTwo = expected (the real docker layout)."""
+        profile = profile_from_dict(MOBY_SAMPLE)
+        assert profile.allows(make_event("clone", (0x00010000,)))
+        assert not profile.allows(make_event("clone", (0x10000000,)))
+
+    def test_unknown_names_skipped(self):
+        """32-bit-only names like vm86 are dropped for the x86-64 table."""
+        profile = profile_from_dict(MOBY_SAMPLE)
+        assert profile.num_syscalls == 5  # read, write, close, personality, clone
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_from_dict({"defaultAction": "SCMP_ACT_BOGUS", "syscalls": []})
+
+    def test_unknown_op_rejected(self):
+        data = {
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [
+                {
+                    "names": ["read"],
+                    "action": "SCMP_ACT_ALLOW",
+                    "args": [{"index": 0, "value": 1, "op": "SCMP_CMP_LT"}],
+                }
+            ],
+        }
+        with pytest.raises(ProfileError):
+            profile_from_dict(data)
+
+    def test_from_json_string(self):
+        profile = profile_from_json(json.dumps(MOBY_SAMPLE), name="docker")
+        assert profile.name == "docker"
+
+
+class TestExport:
+    def test_valid_json(self):
+        profile = build_docker_default()
+        parsed = json.loads(profile_to_json(profile))
+        assert parsed["defaultAction"] == "SCMP_ACT_ERRNO"
+        assert parsed["architectures"] == ["SCMP_ARCH_X86_64"]
+        assert parsed["syscalls"]
+
+    def test_id_only_names_grouped(self):
+        profile = build_docker_default()
+        data = profile_to_dict(profile)
+        first = data["syscalls"][0]
+        assert len(first["names"]) > 200
+        assert first["args"] == []
+
+
+class TestRoundTrip:
+    def _roundtrip(self, profile):
+        return profile_from_json(profile_to_json(profile), name=profile.name)
+
+    @pytest.mark.parametrize(
+        "probe",
+        [
+            make_event("read", (3, 100)),
+            make_event("read", (9, 9)),
+            make_event("personality", (0,)),
+            make_event("personality", (5,)),
+            make_event("clone", (0x00010000,)),
+            make_event("clone", (0x10000000,)),
+            make_event("mount"),
+            make_event("getppid"),
+        ],
+    )
+    def test_docker_default_roundtrip(self, probe):
+        original = build_docker_default()
+        loaded = self._roundtrip(original)
+        assert loaded.allows(probe) == original.allows(probe)
+
+    def test_generated_profile_roundtrip(self):
+        trace = SyscallTrace(
+            [
+                make_event("read", (3, 100)),
+                make_event("read", (4, 200)),
+                make_event("openat", (0xFFFFFF9C, 0, 0)),
+                make_event("getppid"),
+            ]
+        )
+        original = generate_complete(trace, "app")
+        loaded = self._roundtrip(original)
+        for event in trace:
+            assert loaded.allows(event)
+        assert not loaded.allows(make_event("read", (5, 100)))
+        assert loaded.num_argument_values_allowed == original.num_argument_values_allowed

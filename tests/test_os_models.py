@@ -1,0 +1,116 @@
+"""Tests for the Pledge and Windows disable-policy models."""
+
+import pytest
+
+from repro.common.errors import ProfileError
+from repro.core.software import SoftwareDraco, build_process_tables
+from repro.os_models.pledge import PROMISES, PledgePolicy
+from repro.os_models.windows import SYSCALL_CLASSES, SystemCallDisablePolicy
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.syscalls.events import make_event
+
+
+class TestPledgePolicy:
+    def test_stdio_basics(self):
+        policy = PledgePolicy.of("stdio")
+        assert policy.allows(make_event("read", (0, 10)))
+        assert policy.allows(make_event("getpid"))
+        assert not policy.allows(make_event("openat", (0, 0, 0)))
+
+    def test_rpath_unlocks_open(self):
+        policy = PledgePolicy.of("stdio", "rpath")
+        assert policy.allows(make_event("openat", (0, 0, 0)))
+        assert not policy.allows(make_event("unlink"))
+
+    def test_inet_vs_unix(self):
+        inet = PledgePolicy.of("inet")
+        unix = PledgePolicy.of("unix")
+        assert inet.allows(make_event("setsockopt", (3, 1, 2, 4)))
+        assert not unix.allows(make_event("setsockopt", (3, 1, 2, 4)))
+        assert unix.allows(make_event("socketpair", (1, 1, 0)))
+
+    def test_unknown_promise_rejected(self):
+        with pytest.raises(ProfileError):
+            PledgePolicy.of("stdio", "timetravel")
+
+    def test_shrink_only_drops(self):
+        policy = PledgePolicy.of("stdio", "rpath", "inet")
+        smaller = policy.shrink("inet")
+        assert smaller.promises == frozenset({"stdio", "rpath"})
+        assert not smaller.allows(make_event("connect", (3, 16)))
+        assert smaller.allows(make_event("read", (0, 1)))
+
+    def test_empty_policy_denies_everything(self):
+        policy = PledgePolicy.of()
+        assert not policy.allows(make_event("read", (0, 1)))
+
+    def test_all_promise_names_resolve(self):
+        from repro.syscalls.table import LINUX_X86_64
+
+        for promise, names in PROMISES.items():
+            for name in names:
+                assert name in LINUX_X86_64, (promise, name)
+
+    def test_to_profile_matches_policy(self):
+        policy = PledgePolicy.of("stdio", "rpath")
+        profile = policy.to_profile()
+        probes = [
+            make_event("read", (0, 1)),
+            make_event("openat", (0, 0, 0)),
+            make_event("mount"),
+            make_event("execve"),
+        ]
+        for event in probes:
+            assert profile.allows(event) == policy.allows(event)
+
+    def test_draco_accelerates_pledge(self):
+        """Section VIII: the Draco machinery applies to pledge verbatim."""
+        profile = PledgePolicy.of("stdio").to_profile()
+        module = SeccompKernelModule()
+        module.attach(compile_linear(profile))
+        draco = SoftwareDraco(build_process_tables(profile), module)
+        event = make_event("read", (0, 64))
+        assert draco.check(event).allowed
+        assert draco.check(event).path == "spt_only"  # ID-only policy
+        assert not draco.check(make_event("execve")).allowed
+
+
+class TestSystemCallDisablePolicy:
+    def test_disallow_gui_class(self):
+        policy = SystemCallDisablePolicy.disallow("gui")
+        assert not policy.allows(make_event("ioctl", (1, 2)))
+        assert policy.allows(make_event("read", (0, 1)))
+
+    def test_nothing_disabled_by_default(self):
+        policy = SystemCallDisablePolicy()
+        assert policy.allows(make_event("ioctl", (1, 2)))
+
+    def test_multiple_classes(self):
+        policy = SystemCallDisablePolicy.disallow("network", "process")
+        assert not policy.allows(make_event("socket", (2, 1, 0)))
+        assert not policy.allows(make_event("execve"))
+        assert policy.allows(make_event("openat", (0, 0, 0)))
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ProfileError):
+            SystemCallDisablePolicy.disallow("quantum")
+
+    def test_to_profile_matches_policy(self):
+        policy = SystemCallDisablePolicy.disallow("gui", "network")
+        profile = policy.to_profile()
+        for name, args in (
+            ("ioctl", (1, 2)),
+            ("socket", (2, 1, 0)),
+            ("read", (0, 1)),
+            ("getpid", ()),
+        ):
+            event = make_event(name, args)
+            assert profile.allows(event) == policy.allows(event)
+
+    def test_class_names_resolve(self):
+        from repro.syscalls.table import LINUX_X86_64
+
+        for cls_name, names in SYSCALL_CLASSES.items():
+            for name in names:
+                assert name in LINUX_X86_64, (cls_name, name)

@@ -1,0 +1,103 @@
+"""Tests for the architectural parameter dataclasses (Table II)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.params import (
+    DEFAULT_DRACO_HW,
+    DEFAULT_PROCESSOR,
+    DEFAULT_SW_COSTS,
+    OLD_KERNEL_SW_COSTS,
+    CacheParams,
+    DracoHwParams,
+    ProcessorParams,
+)
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        l1 = CacheParams("L1", 32 * 1024, 8, 2)
+        assert l1.num_sets == 64
+        assert l1.num_lines == 512
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheParams("bad", 1000, 3, 1)
+        with pytest.raises(ConfigError):
+            CacheParams("bad", 0, 1, 1)
+
+
+class TestProcessorDefaults:
+    def test_table_ii_values(self):
+        proc = DEFAULT_PROCESSOR
+        assert proc.cores == 10
+        assert proc.rob_entries == 128
+        assert proc.frequency_ghz == 2.0
+        assert proc.l1d.size_bytes == 32 * 1024
+        assert proc.l2.size_bytes == 256 * 1024
+        assert proc.l3.size_bytes == 8 * 1024 * 1024
+        assert proc.l3.access_cycles == 32
+
+    def test_dispatch_window_positive(self):
+        assert 0 < DEFAULT_PROCESSOR.dispatch_to_head_cycles < DEFAULT_PROCESSOR.rob_entries
+
+
+class TestDracoHwDefaults:
+    def test_table_ii_structures(self):
+        hw = DEFAULT_DRACO_HW
+        assert hw.stb_entries == 256 and hw.stb_ways == 2
+        assert hw.spt_entries == 384 and hw.spt_ways == 1
+        assert hw.temp_buffer_entries == 8
+        assert hw.crc_cycles == 3
+
+    def test_slb_subtables_cover_1_to_6(self):
+        counts = sorted(s.arg_count for s in DEFAULT_DRACO_HW.slb_subtables)
+        assert counts == [1, 2, 3, 4, 5, 6]
+
+    def test_unknown_subtable(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_DRACO_HW.slb_subtable_for(0)
+
+
+class TestSoftwareCosts:
+    def test_hit_cost_composition(self):
+        costs = DEFAULT_SW_COSTS
+        assert costs.sw_draco_hit_cycles == (
+            costs.sw_draco_fixed_cycles
+            + costs.sw_draco_hash_cycles
+            + 2 * costs.sw_draco_vat_probe_cycles
+            + costs.sw_draco_compare_cycles
+        )
+
+    def test_old_kernel_slower(self):
+        assert OLD_KERNEL_SW_COSTS.syscall_base_cycles > DEFAULT_SW_COSTS.syscall_base_cycles
+        assert (
+            OLD_KERNEL_SW_COSTS.cycles_per_bpf_insn_jit
+            > DEFAULT_SW_COSTS.cycles_per_bpf_insn_jit
+        )
+
+    def test_jit_faster_than_interpreter(self):
+        assert (
+            DEFAULT_SW_COSTS.cycles_per_bpf_insn_jit
+            < DEFAULT_SW_COSTS.cycles_per_bpf_insn_interpreted
+        )
+
+
+class TestResultsCsv:
+    def test_csv_round_trip(self, tmp_path):
+        from repro.experiments.results import ExperimentResult
+
+        result = ExperimentResult(
+            "figX", "demo", ("workload", "value"), (("a", 1.5), ("b", 2.0))
+        )
+        path = tmp_path / "fig.csv"
+        result.write_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "workload,value"
+        assert lines[1] == "a,1.5"
+
+    def test_cli_csv_dir(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        assert main(["table2", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.csv").exists()

@@ -1,0 +1,86 @@
+"""Tests for the profilediff tool."""
+
+import pytest
+
+from repro.seccomp.json_io import profile_to_json
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+from repro.tools.profilediff import diff_profiles, main, render, surface
+
+
+def _profile(events, name="p"):
+    return generate_complete(SyscallTrace(events), name)
+
+
+@pytest.fixture
+def old_profile():
+    return _profile(
+        [make_event("read", (3, 100)), make_event("write", (1, 64)), make_event("getppid")]
+    )
+
+
+@pytest.fixture
+def new_profile():
+    return _profile(
+        [
+            make_event("read", (3, 100)),
+            make_event("read", (4, 100)),        # new fd value
+            make_event("openat", (0, 0, 0)),     # new syscall
+            make_event("getppid"),
+        ]
+    )
+
+
+class TestDiff:
+    def test_added_and_removed_syscalls(self, old_profile, new_profile):
+        diff = diff_profiles(old_profile, new_profile)
+        assert diff["added_syscalls"] == ("openat",)
+        assert diff["removed_syscalls"] == ("write",)
+
+    def test_added_values(self, old_profile, new_profile):
+        diff = diff_profiles(old_profile, new_profile)
+        added = {(name, index, value) for name, index, value, _ in diff["added_values"]}
+        assert ("read", 0, 4) in added
+
+    def test_identical_profiles(self, old_profile):
+        diff = diff_profiles(old_profile, old_profile)
+        assert not any(diff.values())
+        assert "identical" in render(diff)
+
+    def test_surface_counts(self, old_profile):
+        names, values = surface(old_profile)
+        assert names == {"read", "write", "getppid"}
+        assert len(values) == 4  # read: fd+count; write: fd+count
+
+    def test_render_symbols(self, old_profile, new_profile):
+        text = render(diff_profiles(old_profile, new_profile))
+        assert "+ syscall openat" in text
+        assert "- syscall write" in text
+        assert "+ value" in text
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, old_profile, new_profile, capsys):
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(profile_to_json(old_profile))
+        new_path.write_text(profile_to_json(new_profile))
+        assert main([str(old_path), str(new_path)]) == 1
+        assert main([str(old_path), str(old_path)]) == 0
+        assert main([str(old_path), str(tmp_path / "missing.json")]) == 2
+        out = capsys.readouterr().out
+        assert "+ syscall openat" in out
+
+    def test_masked_value_rendering(self, tmp_path, capsys):
+        from repro.seccomp.profiles import build_docker_default
+        from repro.seccomp.profile import SeccompProfile, SyscallRule
+
+        docker = build_docker_default()
+        empty = SeccompProfile("empty", [])
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(profile_to_json(empty))
+        b.write_text(profile_to_json(docker))
+        assert main([str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "clone.arg0 & 0x7e020000" in out

@@ -1,0 +1,78 @@
+"""Tests for the profilegen command-line tool."""
+
+import json
+
+import pytest
+
+from repro.seccomp.json_io import profile_from_json
+from repro.syscalls.events import make_event
+from repro.tools.profilegen import main
+
+SAMPLE = """\
+openat(AT_FDCWD, "/etc/hosts", O_RDONLY|O_CLOEXEC) = 3
+read(3, "127.0.0.1 localhost\\n", 4096) = 20
+close(3) = 0
+getpid() = 99
+"""
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "app.strace"
+    path.write_text(SAMPLE)
+    return path
+
+
+class TestCli:
+    def test_complete_profile_to_file(self, log_file, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main([str(log_file), "-o", str(out)]) == 0
+        profile = profile_from_json(out.read_text(), name="app")
+        assert profile.allows(make_event("read", (3, 4096)))
+        assert not profile.allows(make_event("read", (4, 4096)))
+        assert not profile.allows(make_event("mount"))
+
+    def test_noargs_mode(self, log_file, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main([str(log_file), "-o", str(out), "--mode", "noargs"]) == 0
+        profile = profile_from_json(out.read_text())
+        assert profile.allows(make_event("read", (99, 99)))  # any args
+        assert not profile.allows(make_event("write", (1, 1)))
+
+    def test_stdout_output(self, log_file, capsys):
+        assert main([str(log_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["defaultAction"]
+        assert payload["syscalls"]
+
+    def test_stats_flag(self, log_file, capsys):
+        assert main([str(log_file), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "profile allows 4 syscalls" in err
+
+    def test_missing_file(self, tmp_path):
+        assert main([str(tmp_path / "nope.strace")]) == 2
+
+    def test_empty_log(self, tmp_path):
+        empty = tmp_path / "empty.strace"
+        empty.write_text("--- SIGINT ---\n")
+        assert main([str(empty)]) == 1
+
+    def test_name_override(self, log_file, capsys):
+        assert main([str(log_file), "--name", "myapp"]) == 0
+        # Name is embedded via the toolkit's "<name>:syscall-complete".
+        # The JSON schema has no name field; verify via no crash + output.
+        assert json.loads(capsys.readouterr().out)["syscalls"]
+
+    def test_roundtrip_deployable(self, log_file, tmp_path):
+        """Generated JSON loads back and enforces the same decisions —
+        the deployability contract."""
+        out = tmp_path / "p.json"
+        main([str(log_file), "-o", str(out)])
+        profile = profile_from_json(out.read_text())
+        for event in (
+            make_event("openat", (0xFFFFFF9C, 0o2000000, 0)),
+            make_event("close", (3,)),
+            make_event("getpid"),
+        ):
+            assert profile.allows(event)

@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests.
+
+The load-bearing invariant of the whole reproduction: no Draco layer —
+software caching, hardware SLB/STB pipeline, filter chunking — may ever
+change a checking *decision* relative to the reference profile
+semantics.  Draco only changes the cost.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardware import HardwareDraco
+from repro.core.software import SoftwareDraco, build_process_tables
+from repro.seccomp.compiler import compile_profile_chunked
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile
+from repro.syscalls.events import make_event
+from repro.syscalls.table import LINUX_X86_64
+
+_NAMES = ("read", "write", "close", "openat", "futex", "getpid", "personality")
+
+
+@st.composite
+def profile_and_events(draw):
+    chosen = draw(
+        st.lists(st.sampled_from(_NAMES), min_size=1, max_size=4, unique=True)
+    )
+    arg_rules = {}
+    for name in chosen:
+        checkable = LINUX_X86_64.by_name(name).checkable_args
+        if not checkable:
+            continue
+        sets = draw(
+            st.lists(
+                st.tuples(*[st.integers(0, 2) for _ in checkable]),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        arg_rules[name] = [
+            ArgSetRule(tuple(ArgCmp(i, v) for i, v in zip(checkable, values)))
+            for values in sets
+        ]
+    profile = SeccompProfile.from_names("prop", chosen, arg_rules=arg_rules)
+
+    events = []
+    for _ in range(draw(st.integers(3, 12))):
+        name = draw(st.sampled_from(_NAMES + ("mount",)))
+        checkable = LINUX_X86_64.by_name(name).checkable_args
+        args = tuple(draw(st.integers(0, 3)) for _ in checkable)
+        pc = draw(st.sampled_from((0x100, 0x200, 0x300)))
+        events.append(make_event(name, args, pc=pc))
+    return profile, events
+
+
+def _module(profile):
+    module = SeccompKernelModule()
+    for program in compile_profile_chunked(profile):
+        module.attach(program)
+    return module
+
+
+class TestDecisionEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(data=profile_and_events())
+    def test_software_draco_never_changes_decisions(self, data):
+        profile, events = data
+        draco = SoftwareDraco(build_process_tables(profile), _module(profile))
+        for event in events:
+            assert draco.check(event).allowed == profile.allows(event)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=profile_and_events())
+    def test_hardware_draco_never_changes_decisions(self, data):
+        profile, events = data
+        draco = HardwareDraco(build_process_tables(profile), _module(profile))
+        for event in events:
+            assert draco.on_syscall(event).allowed == profile.allows(event)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=profile_and_events())
+    def test_hardware_draco_stable_under_invalidation(self, data):
+        """Context switches (structure invalidation) must be decision-
+        transparent: re-checking after a switch gives identical verdicts."""
+        profile, events = data
+        draco = HardwareDraco(build_process_tables(profile), _module(profile))
+        before = [draco.on_syscall(e).allowed for e in events]
+        draco.context_switch(same_process=False)
+        draco.resume_process()
+        after = [draco.on_syscall(e).allowed for e in events]
+        assert before == after
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=profile_and_events())
+    def test_seccomp_module_matches_reference(self, data):
+        profile, events = data
+        module = _module(profile)
+        for event in events:
+            assert module.check(event).allowed == profile.allows(event)
+
+
+class TestCostInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(data=profile_and_events())
+    def test_costs_are_non_negative(self, data):
+        profile, events = data
+        sw = SoftwareDraco(build_process_tables(profile), _module(profile))
+        hw = HardwareDraco(build_process_tables(profile), _module(profile))
+        for event in events:
+            assert sw.check(event).cycles >= 0
+            assert hw.on_syscall(event).stall_cycles >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=profile_and_events())
+    def test_repeat_of_allowed_event_is_vat_hit(self, data):
+        """Caching property: once validated, an event never reruns the
+        filter under software Draco."""
+        profile, events = data
+        sw = SoftwareDraco(build_process_tables(profile), _module(profile))
+        for event in events:
+            first = sw.check(event)
+            if first.allowed and first.path == "filter_run":
+                again = sw.check(event)
+                assert again.path == "vat_hit"
+                assert again.cycles <= first.cycles

@@ -1,0 +1,165 @@
+"""Tests for the checking regimes and the syscall-level simulator."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.kernel.regimes import (
+    DracoHwRegime,
+    DracoSwRegime,
+    InsecureRegime,
+    SeccompRegime,
+)
+from repro.kernel.simulator import run_trace
+from repro.seccomp.toolkit import generate_complete, generate_noargs
+from repro.syscalls.events import SyscallTrace, make_event
+
+
+@pytest.fixture
+def trace():
+    events = []
+    for i in range(300):
+        events.append(make_event("read", (3 + i % 8, 100), pc=0x100))
+        events.append(make_event("write", (1, 64 + 8 * (i % 6)), pc=0x200))
+        events.append(make_event("epoll_wait", (4, 512, 100), pc=0x300))
+    return SyscallTrace(events)
+
+
+@pytest.fixture
+def profile(trace):
+    return generate_complete(trace, "t")
+
+
+class TestInsecure:
+    def test_zero_cost(self, trace):
+        regime = InsecureRegime()
+        result = run_trace(trace, regime, 100.0, 150.0)
+        assert result.normalized_time == 1.0
+        assert result.mean_check_cycles == 0.0
+
+
+class TestSeccompRegime:
+    def test_positive_overhead(self, trace, profile):
+        regime = SeccompRegime(profile)
+        result = run_trace(trace, regime, 100.0, 150.0)
+        assert result.normalized_time > 1.0
+        assert result.mean_check_cycles > 0
+
+    def test_2x_costs_more(self, trace, profile):
+        once = run_trace(trace, SeccompRegime(profile), 100.0, 150.0)
+        twice = run_trace(trace, SeccompRegime(profile, times=2), 100.0, 150.0)
+        assert twice.mean_check_cycles > once.mean_check_cycles
+
+    def test_interpreted_costs_more_than_jit(self, trace, profile):
+        jit = run_trace(trace, SeccompRegime(profile, use_jit=True), 100.0, 150.0)
+        interp = run_trace(trace, SeccompRegime(profile, use_jit=False), 100.0, 150.0)
+        assert interp.mean_check_cycles > jit.mean_check_cycles
+
+    def test_tree_cheaper_for_docker(self, trace):
+        from repro.seccomp.profiles import build_docker_default
+
+        docker = build_docker_default()
+        linear = run_trace(trace, SeccompRegime(docker, compiler="linear"), 100.0, 150.0)
+        tree = run_trace(trace, SeccompRegime(docker, compiler="binary_tree"), 100.0, 150.0)
+        assert tree.mean_check_cycles < linear.mean_check_cycles
+
+    def test_name(self, profile):
+        assert "t:syscall-complete" in SeccompRegime(profile).name
+        assert SeccompRegime(profile, times=2).name.endswith("x2")
+
+
+class TestDracoSwRegime:
+    def test_cheaper_than_seccomp_on_hot_trace(self, trace, profile):
+        seccomp = run_trace(trace, SeccompRegime(profile, times=2), 100.0, 150.0)
+        draco = run_trace(trace, DracoSwRegime(profile, times=2), 100.0, 150.0)
+        assert draco.mean_check_cycles < seccomp.mean_check_cycles
+
+    def test_stats_exposed(self, trace, profile):
+        regime = DracoSwRegime(profile)
+        run_trace(trace, regime, 100.0, 150.0)
+        assert regime.stats.vat_hits > 0
+
+
+class TestDracoHwRegime:
+    def test_near_zero_overhead(self, trace, profile):
+        regime = DracoHwRegime(profile, context_switch_interval_cycles=None)
+        result = run_trace(trace, regime, 1000.0, 150.0)
+        assert result.normalized_time < 1.02
+
+    def test_context_switches_add_cost(self, trace, profile):
+        steady = DracoHwRegime(profile, context_switch_interval_cycles=None)
+        churn = DracoHwRegime(profile, context_switch_interval_cycles=20_000.0)
+        steady_result = run_trace(trace, steady, 1000.0, 150.0)
+        churn_result = run_trace(trace, churn, 1000.0, 150.0)
+        assert churn_result.mean_check_cycles >= steady_result.mean_check_cycles
+
+    def test_paths_labelled_with_flows(self, trace, profile):
+        regime = DracoHwRegime(profile, context_switch_interval_cycles=None)
+        result = run_trace(trace, regime, 100.0, 150.0)
+        assert any(path.startswith("hw:") for path in result.path_counts)
+
+
+class TestRunTrace:
+    def test_strict_denial_raises(self, profile):
+        bad = SyscallTrace([make_event("mount")] * 4)
+        with pytest.raises(SimulationError):
+            run_trace(bad, SeccompRegime(profile), 100.0, 150.0)
+
+    def test_non_strict_counts_denials(self, profile):
+        bad = SyscallTrace([make_event("mount")] * 4)
+        result = run_trace(bad, SeccompRegime(profile), 100.0, 150.0, strict=False)
+        assert result.events_measured > 0
+
+    def test_empty_trace_rejected(self, profile):
+        with pytest.raises(SimulationError):
+            run_trace(SyscallTrace(), SeccompRegime(profile), 100.0, 150.0)
+
+    def test_bad_warmup(self, trace, profile):
+        with pytest.raises(SimulationError):
+            run_trace(trace, SeccompRegime(profile), 100.0, 150.0, warmup_fraction=1.0)
+
+    def test_warmup_excluded_from_measurement(self, trace, profile):
+        result = run_trace(trace, SeccompRegime(profile), 100.0, 150.0, warmup_fraction=0.5)
+        assert result.events_measured == len(trace) - int(len(trace) * 0.5)
+
+    def test_overhead_percent(self, trace, profile):
+        result = run_trace(trace, SeccompRegime(profile), 100.0, 150.0)
+        assert result.overhead_percent == pytest.approx(
+            (result.normalized_time - 1) * 100
+        )
+
+
+class TestProcess:
+    def test_kill_on_denial(self, profile):
+        from repro.kernel.process import Process, ProcessKilled
+
+        process = Process(name="victim", regime=SeccompRegime(profile))
+        process.syscall(make_event("read", (3, 100)))
+        with pytest.raises(ProcessKilled):
+            process.syscall(make_event("mount"))
+        assert not process.alive
+        with pytest.raises(ProcessKilled):
+            process.syscall(make_event("read", (3, 100)))
+
+    def test_errno_mode_without_kill(self, profile):
+        from repro.kernel.process import Process
+
+        process = Process(name="soft", regime=SeccompRegime(profile), kill_on_deny=False)
+        outcome = process.syscall(make_event("mount"))
+        assert not outcome.allowed
+        assert process.alive
+        assert process.syscalls_denied == 1
+
+    def test_run_accumulates(self, profile, trace):
+        from repro.kernel.process import Process
+
+        process = Process(name="runner", regime=SeccompRegime(profile))
+        issued, cycles = process.run(trace[:50])
+        assert issued == 50
+        assert cycles > 0
+        assert process.syscalls_issued == 50
+
+    def test_unique_pids(self):
+        from repro.kernel.process import Process
+
+        a, b = Process(name="a"), Process(name="b")
+        assert a.pid != b.pid

@@ -1,0 +1,100 @@
+"""Tests for the multi-process round-robin scheduler."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.kernel.scheduler import (
+    DracoCore,
+    RoundRobinScheduler,
+    ScheduledProcess,
+)
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+
+
+def _process(name, fds=(3, 4), events=400, work=500.0):
+    trace = SyscallTrace(
+        [make_event("read", (fds[i % len(fds)], 100), pc=0x100) for i in range(events)]
+    )
+    profile = generate_complete(trace, name)
+    return ScheduledProcess(
+        name=name, profile=profile, trace=trace, work_cycles_per_syscall=work
+    )
+
+
+class TestValidation:
+    def test_needs_processes(self):
+        with pytest.raises(ConfigError):
+            RoundRobinScheduler([])
+
+    def test_needs_positive_quantum(self):
+        with pytest.raises(ConfigError):
+            RoundRobinScheduler([_process("a")], quantum_syscalls=0)
+
+    def test_unique_names(self):
+        with pytest.raises(ConfigError):
+            RoundRobinScheduler([_process("a"), _process("a")])
+
+
+class TestScheduling:
+    def test_all_processes_complete(self):
+        scheduler = RoundRobinScheduler(
+            [_process("a"), _process("b", fds=(7, 8))], quantum_syscalls=100
+        )
+        result = scheduler.run()
+        assert result.total_syscalls == 800
+        for process in scheduler.processes:
+            assert process.done
+            assert process.syscalls_run == 400
+
+    def test_context_switch_count(self):
+        scheduler = RoundRobinScheduler(
+            [_process("a"), _process("b", fds=(7, 8))], quantum_syscalls=100
+        )
+        result = scheduler.run()
+        # 400 events each at quantum 100 -> 4 slices each, alternating:
+        # 7 switches between 8 slices.
+        assert result.context_switches == 7
+
+    def test_single_process_never_switches(self):
+        scheduler = RoundRobinScheduler([_process("solo")], quantum_syscalls=50)
+        result = scheduler.run()
+        assert result.context_switches == 0
+
+    def test_denial_raises_strict(self):
+        victim = _process("victim")
+        victim.trace.append(make_event("mount", pc=0x200))
+        object.__setattr__  # noqa: B018 - documentation of mutability
+        scheduler = RoundRobinScheduler([victim], quantum_syscalls=1000)
+        with pytest.raises(SimulationError):
+            scheduler.run()
+
+    def test_multitenancy_costs_more_than_solo(self):
+        """Each resume finds cold SLB/STB state: multi-tenant mean check
+        cost is at least the single-tenant cost."""
+        solo = RoundRobinScheduler([_process("a")], quantum_syscalls=100).run()
+        duo = RoundRobinScheduler(
+            [_process("a"), _process("b", fds=(7, 8))], quantum_syscalls=100
+        ).run()
+        assert duo.per_process["a"] >= solo.per_process["a"] * 0.99
+
+    def test_smaller_quanta_cost_more(self):
+        coarse = RoundRobinScheduler(
+            [_process("a"), _process("b", fds=(7, 8))], quantum_syscalls=200
+        ).run()
+        fine = RoundRobinScheduler(
+            [_process("a"), _process("b", fds=(7, 8))], quantum_syscalls=25
+        ).run()
+        assert fine.context_switches > coarse.context_switches
+        mean_fine = sum(fine.per_process.values()) / 2
+        mean_coarse = sum(coarse.per_process.values()) / 2
+        assert mean_fine >= mean_coarse
+
+    def test_processes_isolated(self):
+        """Process b's profile does not allow a's fds and vice versa —
+        each pipeline checks its own policy."""
+        a = _process("a", fds=(3,))
+        b = _process("b", fds=(9,))
+        scheduler = RoundRobinScheduler([a, b], quantum_syscalls=50)
+        result = scheduler.run()
+        assert result.total_syscalls == 800

@@ -1,0 +1,118 @@
+"""Tests for the kernel Seccomp engine: stacking, accounting, memoization."""
+
+import pytest
+
+from repro.bpf.insn import BPF_K, BPF_RET, stmt
+from repro.common.errors import BpfVerifyError
+from repro.seccomp.actions import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+)
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.profile import SeccompProfile, SyscallRule
+from repro.syscalls.events import make_event
+from repro.syscalls.table import sid
+
+ALLOW_ALL = (stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW),)
+KILL_ALL = (stmt(BPF_RET | BPF_K, SECCOMP_RET_KILL_PROCESS),)
+ERRNO_ALL = (stmt(BPF_RET | BPF_K, SECCOMP_RET_ERRNO | 1),)
+
+
+def _profile(names=("read", "write")):
+    return SeccompProfile("t", [SyscallRule(sid=sid(n)) for n in names])
+
+
+class TestAttach:
+    def test_no_filters_allows(self):
+        module = SeccompKernelModule()
+        decision = module.check(make_event("read", (1, 2)))
+        assert decision.allowed
+        assert decision.instructions_executed == 0
+        assert decision.filters_run == 0
+
+    def test_attach_verifies(self):
+        module = SeccompKernelModule()
+        with pytest.raises(BpfVerifyError):
+            module.attach(())
+
+    def test_enabled_flag(self):
+        module = SeccompKernelModule()
+        assert not module.enabled
+        module.attach(ALLOW_ALL)
+        assert module.enabled
+
+    def test_total_instructions(self):
+        module = SeccompKernelModule()
+        module.attach(ALLOW_ALL)
+        module.attach(KILL_ALL)
+        assert module.total_instructions == 2
+
+
+class TestStacking:
+    def test_most_restrictive_wins(self):
+        module = SeccompKernelModule()
+        module.attach(ALLOW_ALL)
+        module.attach(KILL_ALL)
+        assert not module.check(make_event("read", (1, 2))).allowed
+
+    def test_errno_beats_allow(self):
+        module = SeccompKernelModule()
+        module.attach(ERRNO_ALL)
+        module.attach(ALLOW_ALL)
+        decision = module.check(make_event("read", (1, 2)))
+        assert not decision.allowed
+        assert decision.return_value == SECCOMP_RET_ERRNO | 1
+
+    def test_all_filters_execute(self):
+        """Real seccomp runs every attached filter on every syscall."""
+        module = SeccompKernelModule()
+        module.attach(ALLOW_ALL)
+        module.attach(ALLOW_ALL)
+        decision = module.check(make_event("read", (1, 2)))
+        assert decision.filters_run == 2
+        assert decision.instructions_executed == 2
+
+    def test_2x_doubles_instruction_count(self):
+        """The syscall-complete-2x construction (Section IV-A)."""
+        program = compile_linear(_profile())
+        once = SeccompKernelModule()
+        once.attach(program)
+        twice = SeccompKernelModule()
+        twice.attach(program)
+        twice.attach(program)
+        event = make_event("write", (1, 2))
+        assert (
+            twice.check(event).instructions_executed
+            == 2 * once.check(event).instructions_executed
+        )
+
+
+class TestMemoization:
+    def test_memo_consistent(self):
+        module = SeccompKernelModule(memoize=True)
+        module.attach(compile_linear(_profile()))
+        event = make_event("read", (1, 2))
+        first = module.check(event)
+        second = module.check(event)
+        assert first == second
+
+    def test_memo_matches_unmemoized(self):
+        program = compile_linear(_profile())
+        memoized = SeccompKernelModule(memoize=True)
+        plain = SeccompKernelModule(memoize=False)
+        memoized.attach(program)
+        plain.attach(program)
+        for event in (make_event("read", (1, 2)), make_event("mount"), make_event("write", (5, 5))):
+            a = memoized.check(event)
+            b = plain.check(event)
+            assert (a.allowed, a.instructions_executed) == (b.allowed, b.instructions_executed)
+
+    def test_attach_invalidates_memo(self):
+        module = SeccompKernelModule(memoize=True)
+        module.attach(ALLOW_ALL)
+        event = make_event("read", (1, 2))
+        assert module.check(event).allowed
+        module.attach(KILL_ALL)
+        assert not module.check(event).allowed

@@ -1,0 +1,175 @@
+"""Tests for the Seccomp profile model and actions."""
+
+import pytest
+
+from repro.common.errors import ProfileError
+from repro.seccomp.actions import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_KILL_THREAD,
+    SECCOMP_RET_LOG,
+    action_name,
+    action_of,
+    data_of,
+    errno_action,
+    is_allow,
+    most_restrictive,
+)
+from repro.seccomp.profile import (
+    ArgCmp,
+    ArgSetRule,
+    CmpOp,
+    SeccompProfile,
+    SyscallRule,
+)
+from repro.syscalls.events import make_event
+from repro.syscalls.table import sid
+
+
+class TestActions:
+    def test_action_of_strips_data(self):
+        assert action_of(SECCOMP_RET_ERRNO | 13) == SECCOMP_RET_ERRNO
+
+    def test_data_of(self):
+        assert data_of(errno_action(13)) == 13
+
+    def test_errno_action_bounds(self):
+        with pytest.raises(ValueError):
+            errno_action(1 << 16)
+
+    def test_is_allow(self):
+        assert is_allow(SECCOMP_RET_ALLOW)
+        assert not is_allow(SECCOMP_RET_KILL_PROCESS)
+
+    def test_most_restrictive_ordering(self):
+        assert most_restrictive(SECCOMP_RET_ALLOW, SECCOMP_RET_KILL_PROCESS) == SECCOMP_RET_KILL_PROCESS
+        assert most_restrictive(SECCOMP_RET_LOG, SECCOMP_RET_ERRNO | 1) == SECCOMP_RET_ERRNO | 1
+        assert most_restrictive(SECCOMP_RET_KILL_THREAD, SECCOMP_RET_KILL_PROCESS) == SECCOMP_RET_KILL_PROCESS
+
+    def test_action_name(self):
+        assert action_name(SECCOMP_RET_ALLOW) == "SECCOMP_RET_ALLOW"
+
+
+class TestArgCmp:
+    def test_eq_matches(self):
+        cmp_ = ArgCmp(0, 5)
+        assert cmp_.matches((5,))
+        assert not cmp_.matches((6,))
+
+    def test_missing_arg_reads_zero(self):
+        assert ArgCmp(3, 0).matches((1,))
+
+    def test_masked_eq(self):
+        cmp_ = ArgCmp(0, 0, op=CmpOp.MASKED_EQ, mask=0xF0)
+        assert cmp_.matches((0x0F,))  # masked bits are zero
+        assert not cmp_.matches((0x10,))
+
+    def test_eq_forces_full_mask(self):
+        cmp_ = ArgCmp(0, 1, op=CmpOp.EQ, mask=0xF)
+        assert cmp_.mask == 0xFFFFFFFFFFFFFFFF
+
+    def test_value_wraps_u64(self):
+        assert ArgCmp(0, -1).value == 0xFFFFFFFFFFFFFFFF
+
+    def test_index_bounds(self):
+        with pytest.raises(ProfileError):
+            ArgCmp(6, 0)
+
+
+class TestArgSetRule:
+    def test_conjunction(self):
+        rule = ArgSetRule((ArgCmp(0, 1), ArgCmp(1, 2)))
+        assert rule.matches((1, 2))
+        assert not rule.matches((1, 3))
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ProfileError):
+            ArgSetRule((ArgCmp(0, 1), ArgCmp(0, 2)))
+
+    def test_comparisons_sorted(self):
+        rule = ArgSetRule((ArgCmp(2, 0), ArgCmp(0, 0)))
+        assert [c.arg_index for c in rule.comparisons] == [0, 2]
+
+    def test_empty_matches_everything(self):
+        assert ArgSetRule(()).matches((9, 9, 9))
+
+
+class TestSyscallRule:
+    def test_id_only_allows_any_args(self):
+        rule = SyscallRule(sid=sid("read"))
+        assert rule.allows(make_event("read", (1, 2)))
+
+    def test_wrong_sid(self):
+        rule = SyscallRule(sid=sid("read"))
+        assert not rule.allows(make_event("write", (1, 2)))
+
+    def test_disjunction_over_arg_sets(self):
+        rule = SyscallRule(
+            sid=sid("personality"),
+            arg_rules=(
+                ArgSetRule((ArgCmp(0, 0),)),
+                ArgSetRule((ArgCmp(0, 8),)),
+            ),
+        )
+        assert rule.allows(make_event("personality", (0,)))
+        assert rule.allows(make_event("personality", (8,)))
+        assert not rule.allows(make_event("personality", (1,)))
+
+
+class TestSeccompProfile:
+    def _profile(self):
+        return SeccompProfile.from_names(
+            "test",
+            ["read", "write", "personality"],
+            arg_rules={
+                "personality": [ArgSetRule((ArgCmp(0, 0xFFFFFFFF),))],
+            },
+        )
+
+    def test_allows_whitelisted(self):
+        profile = self._profile()
+        assert profile.allows(make_event("read", (1, 2)))
+
+    def test_denies_unlisted(self):
+        assert not self._profile().allows(make_event("mount"))
+
+    def test_arg_check_enforced(self):
+        profile = self._profile()
+        assert profile.allows(make_event("personality", (0xFFFFFFFF,)))
+        assert not profile.allows(make_event("personality", (0,)))
+
+    def test_evaluate_returns_actions(self):
+        profile = self._profile()
+        assert profile.evaluate(make_event("read", (1, 2))) == SECCOMP_RET_ALLOW
+        assert profile.evaluate(make_event("mount")) == SECCOMP_RET_KILL_PROCESS
+
+    def test_metrics(self):
+        profile = self._profile()
+        assert profile.num_syscalls == 3
+        assert profile.num_arguments_checked == 1
+        assert profile.num_argument_values_allowed == 1
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(ProfileError):
+            SeccompProfile("dup", [SyscallRule(0), SyscallRule(0)])
+
+    def test_unknown_sid_rejected(self):
+        with pytest.raises(ProfileError):
+            SeccompProfile("bad", [SyscallRule(9999)])
+
+    def test_orphan_arg_rules_rejected(self):
+        with pytest.raises(ProfileError):
+            SeccompProfile.from_names(
+                "bad", ["read"], arg_rules={"write": [ArgSetRule(())]}
+            )
+
+    def test_rules_sorted_by_sid(self):
+        profile = self._profile()
+        sids = [rule.sid for rule in profile.rules]
+        assert sids == sorted(sids)
+
+    def test_rule_for(self):
+        profile = self._profile()
+        assert profile.rule_for(sid("read")) is not None
+        assert profile.rule_for(sid("mount")) is None

@@ -1,0 +1,98 @@
+"""Tests for the canned real-world profiles (Section II-C)."""
+
+import pytest
+
+from repro.seccomp.profiles import (
+    DOCKER_DENIED,
+    DOCKER_PERSONALITY_VALUES,
+    build_docker_default,
+    build_firecracker,
+    build_gvisor,
+)
+from repro.syscalls.events import make_event
+from repro.syscalls.table import LINUX_X86_64
+
+
+class TestDockerDefault:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return build_docker_default()
+
+    def test_broad_whitelist(self, profile):
+        """Docker allows most of the ABI (paper: 358 of 403)."""
+        assert profile.num_syscalls == len(LINUX_X86_64) - len(
+            [n for n in DOCKER_DENIED if n in LINUX_X86_64]
+        )
+        assert profile.num_syscalls > 0.8 * len(LINUX_X86_64)
+
+    def test_denies_admin_syscalls(self, profile):
+        for name in ("mount", "reboot", "init_module", "ptrace", "bpf"):
+            assert not profile.allows(make_event(name))
+
+    def test_allows_common_syscalls(self, profile):
+        for name in ("read", "write", "openat", "futex", "epoll_wait"):
+            event = make_event(name, tuple(0 for _ in LINUX_X86_64.by_name(name).checkable_args))
+            assert profile.allows(event)
+
+    def test_personality_values(self, profile):
+        for value in DOCKER_PERSONALITY_VALUES:
+            assert profile.allows(make_event("personality", (value,)))
+        assert not profile.allows(make_event("personality", (0x1234,)))
+
+    def test_clone_namespace_flags_blocked(self, profile):
+        assert profile.allows(make_event("clone", (0x00010000,)))
+        assert not profile.allows(make_event("clone", (0x10000000,)))  # CLONE_NEWUSER
+
+    def test_few_argument_checks(self, profile):
+        """Paper: docker-default checks only a handful of argument values."""
+        assert profile.num_argument_values_allowed <= 10
+
+
+class TestGvisor:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return build_gvisor()
+
+    def test_syscall_count_matches_paper(self, profile):
+        assert profile.num_syscalls == 74
+
+    def test_many_argument_checks(self, profile):
+        """Paper: 130 argument checks; ours is the same order."""
+        assert 90 <= profile.num_arguments_checked <= 140
+
+    def test_tight_whitelist(self, profile):
+        assert not profile.allows(make_event("execve"))
+        assert not profile.allows(make_event("ptrace"))
+
+    def test_pinned_arguments(self, profile):
+        assert profile.allows(make_event("fcntl", (0, 3, 0)))
+        assert not profile.allows(make_event("fcntl", (0, 99, 0)))
+
+
+class TestFirecracker:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return build_firecracker()
+
+    def test_syscall_count_matches_paper(self, profile):
+        assert profile.num_syscalls == 37
+
+    def test_arg_check_count_matches_paper(self, profile):
+        assert profile.num_arguments_checked == 8
+
+    def test_kvm_ioctls_pinned(self, profile):
+        assert profile.allows(make_event("ioctl", (0, 0xAE80)))
+        assert not profile.allows(make_event("ioctl", (0, 0x1234)))
+
+    def test_af_unix_only(self, profile):
+        assert profile.allows(make_event("socket", (1, 0, 0)))
+        assert not profile.allows(make_event("socket", (2, 0, 0)))
+
+
+class TestRelativeStrictness:
+    def test_profile_ordering(self):
+        """Firecracker < gVisor < docker-default in allowed surface."""
+        docker = build_docker_default()
+        gvisor = build_gvisor()
+        firecracker = build_firecracker()
+        assert firecracker.num_syscalls < gvisor.num_syscalls < docker.num_syscalls

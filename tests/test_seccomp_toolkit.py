@@ -1,0 +1,96 @@
+"""Tests for the strace-style profile-generation toolkit (Section X-B)."""
+
+import pytest
+
+from repro.seccomp.toolkit import (
+    generate_bundle,
+    generate_complete,
+    generate_noargs,
+    observed_argument_sets,
+)
+from repro.syscalls.events import SyscallTrace, make_event
+from repro.syscalls.table import sid
+
+
+@pytest.fixture
+def trace():
+    return SyscallTrace(
+        [
+            make_event("read", (3, 100)),
+            make_event("read", (4, 100)),
+            make_event("read", (3, 100)),
+            make_event("write", (1, 64)),
+            make_event("getppid"),
+            make_event("stat"),
+        ]
+    )
+
+
+class TestObservedArgumentSets:
+    def test_distinct_sets_per_sid(self, trace):
+        observed = observed_argument_sets(trace)
+        assert observed[sid("read")] == {(3, 100), (4, 100)}
+        assert observed[sid("write")] == {(1, 64)}
+
+    def test_pointer_args_excluded(self, trace):
+        observed = observed_argument_sets(trace)
+        assert observed[sid("stat")] == {()}
+
+    def test_zero_arg_syscalls(self, trace):
+        assert observed_argument_sets(trace)[sid("getppid")] == {()}
+
+
+class TestNoargsProfile:
+    def test_whitelists_observed_ids_only(self, trace):
+        profile = generate_noargs(trace, "app")
+        assert profile.allows(make_event("read", (99, 99)))  # any args
+        assert not profile.allows(make_event("close", (3,)))
+
+    def test_no_argument_rules(self, trace):
+        profile = generate_noargs(trace, "app")
+        assert profile.num_arguments_checked == 0
+
+    def test_name(self, trace):
+        assert generate_noargs(trace, "app").name == "app:syscall-noargs"
+
+
+class TestCompleteProfile:
+    def test_exact_argument_sets(self, trace):
+        profile = generate_complete(trace, "app")
+        assert profile.allows(make_event("read", (3, 100)))
+        assert profile.allows(make_event("read", (4, 100)))
+        assert not profile.allows(make_event("read", (5, 100)))
+        assert not profile.allows(make_event("read", (3, 200)))
+
+    def test_unchecked_when_no_checkable_args(self, trace):
+        profile = generate_complete(trace, "app")
+        assert profile.allows(make_event("getppid"))
+        assert profile.allows(make_event("stat"))
+
+    def test_unobserved_syscall_denied(self, trace):
+        profile = generate_complete(trace, "app")
+        assert not profile.allows(make_event("mount"))
+
+    def test_covers_whole_trace(self, trace):
+        """Every event of the recorded trace must pass its own profile."""
+        profile = generate_complete(trace, "app")
+        for event in trace:
+            assert profile.allows(event)
+
+    def test_value_metric(self, trace):
+        profile = generate_complete(trace, "app")
+        # read: fd in {3,4}, count {100}; write: fd {1}, count {64}.
+        assert profile.num_argument_values_allowed == 5
+
+
+class TestBundle:
+    def test_bundle_contents(self, trace):
+        bundle = generate_bundle(trace, "app")
+        assert bundle.noargs.num_syscalls == bundle.complete.num_syscalls
+        assert bundle.complete_2x is bundle.complete
+
+    def test_complete_stricter_than_noargs(self, trace):
+        bundle = generate_bundle(trace, "app")
+        probe = make_event("read", (77, 77))
+        assert bundle.noargs.allows(probe)
+        assert not bundle.complete.allows(probe)

@@ -1,0 +1,92 @@
+"""Tests for trace serialisation (JSONL save/replay)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.syscalls.events import SyscallEvent, SyscallTrace, make_event
+from repro.syscalls.serialize import (
+    TraceFormatError,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.workloads.catalog import CATALOG
+from repro.workloads.generator import generate_trace
+
+
+@pytest.fixture
+def trace():
+    return SyscallTrace(
+        [
+            make_event("read", (3, 100), pc=0x100),
+            make_event("getppid", pc=0x104),
+            make_event("mmap", (4096, 3, 0x22, 0xFFFFFFFF, 0), pc=0x108),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self, trace):
+        restored = loads(dumps(trace))
+        assert len(restored) == len(trace)
+        assert [e.key for e in restored] == [e.key for e in trace]
+        assert [e.pc for e in restored] == [e.pc for e in trace]
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save(trace, path)
+        assert [e.key for e in load(path)] == [e.key for e in trace]
+
+    def test_workload_trace_round_trip(self):
+        original = generate_trace(CATALOG["fifo-ipc"], 400)
+        restored = loads(dumps(original))
+        assert [e.key for e in restored] == [e.key for e in original]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 450),
+                st.lists(st.integers(0, 2**63), max_size=6),
+                st.integers(0, 2**40),
+            ),
+            max_size=16,
+        )
+    )
+    def test_property_round_trip(self, raw):
+        trace = SyscallTrace(
+            SyscallEvent(sid=sid, args=tuple(args), pc=pc) for sid, args, pc in raw
+        )
+        restored = loads(dumps(trace)) if len(trace) else trace
+        assert [e.key for e in restored] == [e.key for e in trace]
+
+
+class TestErrors:
+    def test_empty_file(self):
+        with pytest.raises(TraceFormatError):
+            loads("")
+
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError):
+            loads("not json\n")
+
+    def test_wrong_format(self):
+        with pytest.raises(TraceFormatError):
+            loads('{"format": "other", "version": 1}\n')
+
+    def test_wrong_version(self):
+        with pytest.raises(TraceFormatError):
+            loads('{"format": "repro-trace", "version": 99}\n')
+
+    def test_bad_record(self):
+        text = '{"format": "repro-trace", "version": 1, "count": 1}\n{"sid": "x"}\n'
+        with pytest.raises(TraceFormatError):
+            loads(text)
+
+    def test_count_mismatch(self):
+        text = '{"format": "repro-trace", "version": 1, "count": 5}\n'
+        text += '{"sid": 0, "args": [], "pc": 0}\n'
+        with pytest.raises(TraceFormatError):
+            loads(text)

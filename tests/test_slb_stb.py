@@ -1,0 +1,194 @@
+"""Tests for the SLB, STB, and Temporary Buffer hardware structures."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.hardware import hash_id_for
+from repro.core.slb import Slb, SlbSubtable
+from repro.core.stb import Stb
+from repro.core.temp_buffer import TemporaryBuffer
+from repro.cpu.params import DracoHwParams, SlbSubtableParams
+
+KEY_A = b"argset-a"
+KEY_B = b"argset-b"
+
+
+def _pair(key):
+    return (hash_id_for(key, 0)[1], hash_id_for(key, 1)[1])
+
+
+class TestSlbSubtable:
+    def _table(self, entries=8, ways=2):
+        return SlbSubtable(SlbSubtableParams(arg_count=2, entries=entries, ways=ways))
+
+    def test_fill_then_access(self):
+        table = self._table()
+        table.fill(0, hash_id_for(KEY_A, 0), (3, 100))
+        assert table.access(0, (3, 100), _pair(KEY_A)) is not None
+
+    def test_access_miss_on_wrong_args(self):
+        table = self._table()
+        table.fill(0, hash_id_for(KEY_A, 0), (3, 100))
+        assert table.access(0, (4, 100), _pair(KEY_B)) is None
+
+    def test_preload_probe_by_hash(self):
+        table = self._table()
+        hid = hash_id_for(KEY_A, 0)
+        table.fill(0, hid, (3, 100))
+        assert table.preload_probe(0, hid)
+        assert not table.preload_probe(0, hash_id_for(KEY_B, 0))
+
+    def test_preload_does_not_update_lru(self):
+        """Section IX: speculative probes leave no LRU side effects."""
+        table = self._table(entries=2, ways=2)
+        hid_a = hash_id_for(KEY_A, 0)
+        hid_b = hash_id_for(KEY_B, 0)
+        table.fill(0, hid_a, (1,))
+        table.fill(0, hid_b, (2,))
+        # Probe A speculatively many times; A must NOT become MRU.
+        for _ in range(5):
+            table.preload_probe(0, hid_a)
+        # A non-speculative fill of a third entry evicts the true LRU (A).
+        table.fill(0, hash_id_for(b"c", 0), (3,))
+        # If probes had refreshed A, B would have been evicted instead.
+        sets_with_a = table.access(0, (1,), _pair(KEY_A))
+        sets_with_b = table.access(0, (2,), _pair(KEY_B))
+        assert (sets_with_a is None) or (sets_with_b is not None)
+
+    def test_lru_eviction_within_set(self):
+        table = self._table(entries=2, ways=2)
+        table.fill(0, hash_id_for(b"a", 0), (1,))
+        table.fill(0, hash_id_for(b"b", 0), (2,))
+        table.access(0, (1,), _pair(b"a"))  # refresh a
+        table.fill(0, hash_id_for(b"c", 0), (3,))
+        # All three map over 1 set (entries/ways = 1): b was LRU.
+        assert table.access(0, (2,), _pair(b"b")) is None or table.occupancy <= 2
+
+    def test_fill_updates_existing(self):
+        """Refilling the same (sid, args) under the other hash must not
+        duplicate the entry when the full hash pair is supplied."""
+        table = self._table()
+        table.fill(0, hash_id_for(KEY_A, 0), (3, 100), _pair(KEY_A))
+        table.fill(0, hash_id_for(KEY_A, 1), (3, 100), _pair(KEY_A))
+        assert table.occupancy == 1
+        assert table.access(0, (3, 100), _pair(KEY_A)).hash_id == hash_id_for(KEY_A, 1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            SlbSubtable(SlbSubtableParams(arg_count=1, entries=5, ways=2))
+
+    def test_invalidate_all(self):
+        table = self._table()
+        table.fill(0, hash_id_for(KEY_A, 0), (1,))
+        table.invalidate_all()
+        assert table.occupancy == 0
+
+
+class TestSlb:
+    def test_routes_by_arg_count(self):
+        slb = Slb()
+        slb.fill(0, 2, hash_id_for(KEY_A, 0), (3, 100))
+        assert slb.access(0, 2, (3, 100), _pair(KEY_A)) is not None
+        assert slb.access(0, 3, (3, 100, 0), _pair(KEY_A)) is None
+
+    def test_unknown_arg_count(self):
+        with pytest.raises(ConfigError):
+            Slb().access(0, 0, (), _pair(KEY_A))
+
+    def test_stats(self):
+        slb = Slb()
+        slb.fill(0, 1, hash_id_for(KEY_A, 0), (1,))
+        slb.access(0, 1, (1,), _pair(KEY_A))
+        slb.access(0, 1, (2,), _pair(KEY_B))
+        slb.preload_probe(0, 1, hash_id_for(KEY_A, 0))
+        slb.preload_probe(0, 1, hash_id_for(KEY_B, 0))
+        assert slb.access_hit_rate == 0.5
+        assert slb.preload_hit_rate == 0.5
+        slb.reset_stats()
+        assert slb.access_hit_rate == 0.0
+
+    def test_table_ii_geometry(self):
+        """The subtables match the paper's sizing."""
+        hw = DracoHwParams()
+        sizes = {sub.arg_count: sub.entries for sub in hw.slb_subtables}
+        assert sizes == {1: 32, 2: 64, 3: 64, 4: 32, 5: 32, 6: 16}
+
+    def test_invalidate_all(self):
+        slb = Slb()
+        slb.fill(0, 1, hash_id_for(KEY_A, 0), (1,))
+        slb.invalidate_all()
+        assert slb.access(0, 1, (1,), _pair(KEY_A)) is None
+
+
+class TestStb:
+    def test_lookup_after_update(self):
+        stb = Stb()
+        stb.update(0x400100, sid=0, hash_id=hash_id_for(KEY_A, 0))
+        entry = stb.lookup(0x400100)
+        assert entry is not None
+        assert entry.sid == 0
+
+    def test_miss_on_unknown_pc(self):
+        stb = Stb()
+        assert stb.lookup(0x999) is None
+        assert stb.hit_rate == 0.0
+
+    def test_update_refreshes_hash(self):
+        stb = Stb()
+        stb.update(0x42 << 2, 0, hash_id_for(KEY_A, 0))
+        stb.update(0x42 << 2, 0, hash_id_for(KEY_B, 1))
+        assert stb.lookup(0x42 << 2).hash_id == hash_id_for(KEY_B, 1)
+        assert stb.occupancy == 1
+
+    def test_set_conflict_eviction(self):
+        """Two-way sets: a third conflicting PC evicts the LRU entry."""
+        stb = Stb()
+        base = 0x1000
+        stride = stb.num_sets << 2  # same set, different tags
+        pcs = [base, base + stride, base + 2 * stride]
+        for pc in pcs:
+            stb.update(pc, 0, hash_id_for(KEY_A, 0))
+        present = [pc for pc in pcs if stb.lookup(pc) is not None]
+        assert len(present) == 2
+        assert pcs[0] not in present  # LRU evicted
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            Stb(DracoHwParams(stb_entries=7, stb_ways=2))
+
+    def test_invalidate_all(self):
+        stb = Stb()
+        stb.update(0x40, 0, hash_id_for(KEY_A, 0))
+        stb.invalidate_all()
+        assert stb.lookup(0x40) is None
+
+
+class TestTemporaryBuffer:
+    def test_stash_and_claim(self):
+        buf = TemporaryBuffer()
+        buf.stash(0, hash_id_for(KEY_A, 0), (3, 100))
+        entry = buf.take_match(0, (3, 100))
+        assert entry is not None
+        assert entry.args == (3, 100)
+        assert len(buf) == 0  # consumed
+
+    def test_no_match_leaves_entry(self):
+        buf = TemporaryBuffer()
+        buf.stash(0, hash_id_for(KEY_A, 0), (3, 100))
+        assert buf.take_match(0, (4, 100)) is None
+        assert len(buf) == 1
+
+    def test_capacity_fifo(self):
+        buf = TemporaryBuffer()
+        for i in range(12):
+            buf.stash(i, hash_id_for(bytes([i]), 0), (i,))
+        assert len(buf) == buf.capacity == 8
+        assert buf.take_match(0, (0,)) is None  # oldest dropped
+        assert buf.take_match(11, (11,)) is not None
+
+    def test_clear_on_squash(self):
+        """Section IX: a squash clears all speculative preload state."""
+        buf = TemporaryBuffer()
+        buf.stash(0, hash_id_for(KEY_A, 0), (1,))
+        buf.clear()
+        assert len(buf) == 0

@@ -1,0 +1,96 @@
+"""Tests for SMT partitioning (Sections VII-B / IX)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.smt import SmtDraco, partition_hw_params
+from repro.core.software import build_process_tables
+from repro.cpu.params import DracoHwParams
+from repro.seccomp.compiler import compile_linear
+from repro.seccomp.engine import SeccompKernelModule
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.events import SyscallTrace, make_event
+
+
+def _binding(fds=(3, 4)):
+    trace = SyscallTrace([make_event("read", (fd, 100), pc=0x100) for fd in fds])
+    profile = generate_complete(trace, "ctx")
+    module = SeccompKernelModule()
+    module.attach(compile_linear(profile))
+    return build_process_tables(profile), module
+
+
+class TestPartitioning:
+    def test_halves_for_two_contexts(self):
+        part = partition_hw_params(DracoHwParams(), 2)
+        assert part.stb_entries == 128
+        assert part.spt_entries == 192
+        assert part.slb_subtable_for(2).entries == 32
+
+    def test_respects_associativity(self):
+        part = partition_hw_params(DracoHwParams(), 8)
+        for sub in part.slb_subtables:
+            assert sub.entries % sub.ways == 0
+            assert sub.entries >= sub.ways
+
+    def test_single_context_unchanged(self):
+        part = partition_hw_params(DracoHwParams(), 1)
+        assert part.stb_entries == DracoHwParams().stb_entries
+
+    def test_invalid_contexts(self):
+        with pytest.raises(ConfigError):
+            partition_hw_params(DracoHwParams(), 0)
+
+
+class TestSmtDraco:
+    def test_contexts_isolated(self):
+        """The security property: one context's activity leaves no state
+        in another context's partition."""
+        smt = SmtDraco([_binding(), _binding(fds=(7, 8))])
+        event = make_event("read", (3, 100), pc=0x100)
+        smt.on_syscall(0, event)
+        smt.on_syscall(0, event)
+        assert smt.pipeline(0).stb.occupancy > 0
+        assert smt.pipeline(1).stb.occupancy == 0
+        assert smt.pipeline(1).slb.subtable(2).occupancy == 0
+
+    def test_each_context_checks_its_own_profile(self):
+        smt = SmtDraco([_binding(fds=(3,)), _binding(fds=(7,))])
+        ok0 = smt.on_syscall(0, make_event("read", (3, 100), pc=0x100))
+        bad0 = smt.on_syscall(0, make_event("read", (7, 100), pc=0x100))
+        ok1 = smt.on_syscall(1, make_event("read", (7, 100), pc=0x100))
+        assert ok0.allowed and ok1.allowed
+        assert not bad0.allowed
+
+    def test_context_switch_only_clears_own_partition(self):
+        smt = SmtDraco([_binding(), _binding(fds=(7, 8))])
+        smt.on_syscall(0, make_event("read", (3, 100), pc=0x100))
+        smt.on_syscall(1, make_event("read", (7, 100), pc=0x100))
+        smt.context_switch(0)
+        assert smt.pipeline(0).stb.occupancy == 0
+        assert smt.pipeline(1).stb.occupancy > 0
+
+    def test_shared_hierarchy(self):
+        smt = SmtDraco([_binding(), _binding()])
+        assert smt.pipeline(0).hierarchy is smt.pipeline(1).hierarchy
+
+    def test_bad_context_index(self):
+        smt = SmtDraco([_binding()])
+        with pytest.raises(ConfigError):
+            smt.on_syscall(1, make_event("read", (3, 100)))
+
+    def test_needs_bindings(self):
+        with pytest.raises(ConfigError):
+            SmtDraco([])
+
+    def test_warm_context_stays_fast(self):
+        smt = SmtDraco([_binding(), _binding(fds=(7, 8))])
+        event = make_event("read", (3, 100), pc=0x100)
+        smt.on_syscall(0, event)
+        warm = smt.on_syscall(0, event)
+        assert warm.stall_cycles <= 10
+        # Activity in context 1 does not disturb context 0's warmth.
+        for _ in range(20):
+            smt.on_syscall(1, make_event("read", (7, 100), pc=0x100))
+        still_warm = smt.on_syscall(0, event)
+        assert still_warm.stall_cycles <= 10

@@ -1,0 +1,116 @@
+"""Tests for the System Call Permissions Table (software and hardware)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.spt import HardwareSPT, SoftwareSPT, SptEntry
+from repro.cpu.params import DracoHwParams
+
+
+class TestSptEntry:
+    def test_arg_count_from_bitmask(self):
+        entry = SptEntry(sid=0, arg_bitmask=0xFF | (0xFF << 16))
+        assert entry.arg_count == 3  # highest used argument is #2
+
+    def test_no_args(self):
+        assert SptEntry(sid=0).arg_count == 0
+        assert not SptEntry(sid=0).checks_arguments
+
+    def test_checks_arguments(self):
+        assert SptEntry(sid=0, arg_bitmask=0xFF).checks_arguments
+
+
+class TestSoftwareSPT:
+    def test_set_and_lookup(self):
+        spt = SoftwareSPT()
+        spt.set_entry(SptEntry(sid=5, base=0x1000))
+        assert spt.lookup(5).base == 0x1000
+        assert spt.lookup(6) is None
+
+    def test_overwrite(self):
+        spt = SoftwareSPT()
+        spt.set_entry(SptEntry(sid=5, base=1))
+        spt.set_entry(SptEntry(sid=5, base=2))
+        assert spt.lookup(5).base == 2
+        assert len(spt) == 1
+
+    def test_entries_sorted(self):
+        spt = SoftwareSPT()
+        spt.set_entry(SptEntry(sid=9))
+        spt.set_entry(SptEntry(sid=2))
+        assert [e.sid for e in spt.entries()] == [2, 9]
+
+
+class TestHardwareSPT:
+    def test_direct_mapped_only(self):
+        with pytest.raises(ConfigError):
+            HardwareSPT(DracoHwParams(spt_ways=2))
+
+    def test_install_lookup(self):
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=0, base=0xAA))
+        assert spt.lookup(0).base == 0xAA
+
+    def test_miss_on_absent(self):
+        spt = HardwareSPT()
+        assert spt.lookup(7) is None
+        assert spt.misses == 1
+
+    def test_alias_detected_by_tag(self):
+        """SIDs 424+ alias low slots mod 384; the tag must catch it."""
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=424, base=1))
+        aliased = 424 % spt.num_entries
+        assert spt.lookup(aliased) is None  # not a false hit
+
+    def test_alias_displacement_reported(self):
+        spt = HardwareSPT()
+        aliased = 424 % spt.num_entries
+        spt.install(SptEntry(sid=aliased, base=1))
+        displaced = spt.install(SptEntry(sid=424, base=2))
+        assert displaced is not None and displaced.sid == aliased
+
+    def test_reinstall_same_sid_not_displacement(self):
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=3, base=1))
+        assert spt.install(SptEntry(sid=3, base=2)) is None
+
+    def test_invalid_entry_misses(self):
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=3, valid=False))
+        assert spt.lookup(3) is None
+
+    def test_accessed_bit_lifecycle(self):
+        """Section VII-B: Accessed bits drive the context-switch save."""
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=1))
+        spt.install(SptEntry(sid=2))
+        spt.lookup(1)
+        saved = spt.save_accessed_entries()
+        assert [e.sid for e in saved] == [1]
+        spt.clear_accessed_bits()
+        assert spt.save_accessed_entries() == ()
+
+    def test_restore(self):
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=1, base=0x42))
+        spt.lookup(1)
+        saved = spt.save_accessed_entries()
+        spt.invalidate_all()
+        assert spt.lookup(1) is None
+        spt.restore(saved)
+        assert spt.lookup(1).base == 0x42
+
+    def test_occupancy(self):
+        spt = HardwareSPT()
+        assert spt.occupancy == 0
+        spt.install(SptEntry(sid=1))
+        assert spt.occupancy == 1
+        spt.invalidate_all()
+        assert spt.occupancy == 0
+
+    def test_hit_sets_accessed(self):
+        spt = HardwareSPT()
+        spt.install(SptEntry(sid=1))
+        entry = spt.lookup(1)
+        assert entry.accessed

@@ -1,0 +1,65 @@
+"""Tests for the process start-up tail in profiling traces."""
+
+import pytest
+
+from repro.seccomp.toolkit import generate_complete, generate_noargs
+from repro.syscalls.table import LINUX_X86_64, sid
+from repro.workloads.catalog import CATALOG
+from repro.workloads.generator import generate_trace, profile_trace
+from repro.workloads.startup import STARTUP_SYSCALL_NAMES, startup_events
+
+
+class TestStartupEvents:
+    def test_all_names_resolve(self):
+        for name in STARTUP_SYSCALL_NAMES:
+            assert name in LINUX_X86_64
+
+    def test_sequence_shape(self):
+        events = startup_events()
+        assert len(events) > 25
+        names = [e.name() for e in events]
+        assert names[0] == "execve"
+        assert "mmap" in names and "arch_prctl" in names
+
+    def test_distinct_pcs(self):
+        events = startup_events()
+        assert len({e.pc for e in events}) == len(events)
+
+    def test_deterministic(self):
+        assert [e.key for e in startup_events()] == [e.key for e in startup_events()]
+
+
+class TestProfileTraceIntegration:
+    def test_profile_includes_startup(self):
+        spec = CATALOG["pwgen"]
+        profile = generate_complete(profile_trace(spec, count=500), "pwgen")
+        assert profile.rule_for(sid("execve")) is not None
+        assert profile.rule_for(sid("arch_prctl")) is not None
+        assert profile.rule_for(sid("set_tid_address")) is not None
+
+    def test_opt_out(self):
+        spec = CATALOG["pwgen"]
+        trace = profile_trace(spec, count=200, include_startup=False)
+        profile = generate_noargs(trace, "pwgen")
+        assert profile.rule_for(sid("execve")) is None
+
+    def test_measurement_traces_exclude_startup(self):
+        """Steady-state traces never issue startup-only syscalls."""
+        spec = CATALOG["pwgen"]
+        measured = generate_trace(spec, 1500)
+        assert sid("execve") not in measured.unique_sids()
+        assert sid("arch_prctl") not in measured.unique_sids()
+
+    def test_profiles_grow_toward_paper_scale(self):
+        """With the startup tail, app profiles approach the paper's
+        50-100 allowed syscalls (Figure 15a)."""
+        spec = CATALOG["nginx"]
+        profile = generate_complete(profile_trace(spec, count=500), "nginx")
+        assert 25 <= profile.num_syscalls <= 60
+
+    def test_startup_coverage_of_own_profile(self):
+        """Every startup event passes the profile it helped create."""
+        spec = CATALOG["grep"]
+        profile = generate_complete(profile_trace(spec, count=300), "grep")
+        for event in startup_events():
+            assert profile.allows(event), event.name()

@@ -1,0 +1,184 @@
+"""Tests for the strace log parser."""
+
+import pytest
+
+from repro.seccomp.toolkit import generate_complete
+from repro.syscalls.table import sid
+from repro.tracing.strace import (
+    StraceParser,
+    parse_strace,
+    parse_value,
+    split_arguments,
+)
+
+SAMPLE_LOG = """\
+execve("/usr/bin/cat", ["cat", "/etc/hostname"], 0x7ffd1 /* 24 vars */) = 0
+brk(NULL)                               = 0x560a3a9f2000
+openat(AT_FDCWD, "/etc/hostname", O_RDONLY) = 3
+fstat(3, {st_mode=S_IFREG|0644, st_size=6, ...}) = 0
+read(3, "draco\\n", 131072)             = 6
+write(1, "draco\\n", 6)                 = 6
+read(3, "", 131072)                     = 0
+close(3)                                = 0
+--- SIGCHLD {si_signo=SIGCHLD, si_code=CLD_EXITED} ---
+mmap(NULL, 8192, PROT_READ|PROT_WRITE, MAP_PRIVATE|MAP_ANONYMOUS, -1, 0) = 0x7f2a1000
+[pid  4242] getpid()                    = 4242
+12:00:01.123456 futex(0x7f2a2000, FUTEX_WAIT_PRIVATE, 2, NULL) = 0
+read(4, 0x7ffd0, 64)                    = -1 EAGAIN (Resource temporarily unavailable)
+exit_group(0)                           = ?
+"""
+
+
+class TestSplitArguments:
+    def test_simple(self):
+        assert split_arguments("1, 2, 3") == ("1", "2", "3")
+
+    def test_nested_struct(self):
+        args = split_arguments('3, {st_mode=S_IFREG|0644, st_size=6}, 0')
+        assert args == ("3", "{st_mode=S_IFREG|0644, st_size=6}", "0")
+
+    def test_quoted_string_with_commas(self):
+        args = split_arguments('1, "a, b, c", 5')
+        assert args == ("1", '"a, b, c"', "5")
+
+    def test_escaped_quote_in_string(self):
+        args = split_arguments('1, "say \\"hi\\", ok", 2')
+        assert len(args) == 3
+
+    def test_empty(self):
+        assert split_arguments("") == ()
+
+    def test_array_literal(self):
+        args = split_arguments('["cat", "x"], 7')
+        assert args == ('["cat", "x"]', "7")
+
+
+class TestParseValue:
+    def test_decimal(self):
+        assert parse_value("42", {}) == 42
+
+    def test_hex(self):
+        assert parse_value("0x1f", {}) == 0x1F
+
+    def test_octal(self):
+        assert parse_value("0644", {}) == 0o644
+
+    def test_negative_wraps(self):
+        assert parse_value("-1", {}) == 0xFFFFFFFFFFFFFFFF
+
+    def test_constant(self):
+        assert parse_value("O_RDONLY", {"O_RDONLY": 0}) == 0
+
+    def test_flag_or(self):
+        constants = {"PROT_READ": 1, "PROT_WRITE": 2}
+        assert parse_value("PROT_READ|PROT_WRITE", constants) == 3
+
+    def test_mode_or(self):
+        assert parse_value("S_IFREG|0644", {"S_IFREG": 0o100000}) == 0o100644
+
+    def test_string_is_pointer(self):
+        assert parse_value('"hello"', {}) is None
+
+    def test_struct_is_pointer(self):
+        assert parse_value("{st_size=6}", {}) is None
+
+    def test_unknown_symbol(self):
+        assert parse_value("MYSTERY_FLAG", {}) is None
+
+    def test_fd_annotation(self):
+        assert parse_value("3</etc/passwd>", {}) == 3
+
+
+class TestLineParsing:
+    def test_basic_line(self):
+        parser = StraceParser()
+        record = parser.parse_line('close(3)                                = 0')
+        assert record.name == "close"
+        assert record.raw_args == ("3",)
+        assert record.return_value == 0
+
+    def test_pid_prefix(self):
+        parser = StraceParser()
+        record = parser.parse_line("[pid  4242] getpid()                    = 4242")
+        assert record.pid == 4242
+        assert record.name == "getpid"
+
+    def test_timestamp_prefix(self):
+        parser = StraceParser()
+        record = parser.parse_line("12:00:01.123456 getuid() = 1000")
+        assert record.name == "getuid"
+
+    def test_signal_line_skipped(self):
+        parser = StraceParser()
+        assert parser.parse_line("--- SIGCHLD {...} ---") is None
+
+    def test_unfinished_skipped(self):
+        parser = StraceParser()
+        assert parser.parse_line("read(3,  <unfinished ...>") is None
+
+    def test_errno_suffix(self):
+        parser = StraceParser()
+        record = parser.parse_line(
+            "read(4, 0x7ffd0, 64) = -1 EAGAIN (Resource temporarily unavailable)"
+        )
+        assert record.return_value == -1
+
+    def test_question_mark_return(self):
+        parser = StraceParser()
+        record = parser.parse_line("exit_group(0) = ?")
+        assert record.return_value is None
+
+    def test_garbage_counted(self):
+        parser = StraceParser()
+        assert parser.parse_line("not a strace line at all!!") is None
+        assert parser.skipped_lines == 1
+
+
+class TestFullLog:
+    def test_events_extracted(self):
+        trace = parse_strace(SAMPLE_LOG)
+        names = [e.name() for e in trace]
+        assert "openat" in names
+        assert "read" in names
+        assert "exit_group" in names
+        # Signal line skipped, all syscall lines kept.
+        assert len(trace) == 13
+
+    def test_checkable_values_extracted(self):
+        trace = parse_strace(SAMPLE_LOG)
+        reads = [e for e in trace if e.sid == sid("read")]
+        # read(3, buf*, 131072): fd and count land on slots 0 and 2.
+        assert reads[0].args == (3, 0, 131072)
+
+    def test_flags_resolved(self):
+        trace = parse_strace(SAMPLE_LOG)
+        openat = next(e for e in trace if e.sid == sid("openat"))
+        # AT_FDCWD resolved; O_RDONLY == 0; path pointer untouched.
+        assert openat.args[0] == 0xFFFFFF9C
+        assert openat.args[2] == 0
+
+    def test_mmap_flag_or(self):
+        trace = parse_strace(SAMPLE_LOG)
+        mmap = next(e for e in trace if e.sid == sid("mmap"))
+        assert mmap.args[2] == 3       # PROT_READ|PROT_WRITE
+        assert mmap.args[3] == 0x22    # MAP_PRIVATE|MAP_ANONYMOUS
+
+    def test_synthesized_pcs_stable_per_syscall(self):
+        trace = parse_strace(SAMPLE_LOG)
+        read_pcs = {e.pc for e in trace if e.sid == sid("read")}
+        assert len(read_pcs) == 1
+
+    def test_unknown_syscall_recorded(self):
+        parser = StraceParser()
+        parser.parse("made_up_syscall(1) = 0")
+        assert parser.unknown_syscalls == {"made_up_syscall": 1}
+
+    def test_profile_generation_end_to_end(self):
+        """The paper's pipeline on a real log: strace -> complete profile."""
+        trace = parse_strace(SAMPLE_LOG)
+        profile = generate_complete(trace, "cat")
+        for event in trace:
+            assert profile.allows(event)
+        assert not profile.allows(
+            trace[0].__class__(sid=sid("mount"), args=(0,) * 5)
+        )

@@ -1,0 +1,47 @@
+"""Tests for the design-space sweep harness."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    rob_window_points,
+    slb_scale_points,
+    stb_size_points,
+    sweep,
+    to_result,
+)
+
+EVENTS = 2500
+
+
+class TestSweepHarness:
+    def test_points_produce_observations(self):
+        observations = sweep("pipe-ipc", slb_scale_points((0.5, 1.0)), events=EVENTS)
+        assert len(observations) == 2
+        for obs in observations:
+            assert obs.normalized_time >= 1.0
+            assert 0 <= obs.stb_hit_rate <= 1
+
+    def test_to_result_table(self):
+        observations = sweep("pipe-ipc", stb_size_points((64, 256)), events=EVENTS)
+        result = to_result("pipe-ipc", "STB sweep", observations)
+        assert result.column("point") == ("stb 64", "stb 256")
+        assert len(result.rows) == 2
+
+    def test_stb_sweep_monotone_for_pressured_workload(self):
+        """Redis's STB pressure (Fig 13) eases as the STB grows."""
+        observations = sweep("redis", stb_size_points((32, 256, 1024)), events=4000)
+        rates = [obs.stb_hit_rate for obs in observations]
+        assert rates[0] <= rates[1] <= rates[2] + 0.01
+
+    def test_rob_window_affects_preload_hiding(self):
+        """A tiny ROB shrinks the dispatch-to-head window, so preload
+        latency is no longer hidden: stalls grow (or stay equal)."""
+        observations = sweep("mysql", rob_window_points((16, 128)), events=4000)
+        small_rob, big_rob = observations
+        assert small_rob.mean_stall_cycles >= big_rob.mean_stall_cycles
+
+    def test_canned_point_shapes(self):
+        assert len(slb_scale_points((0.25, 1, 4))) == 3
+        assert stb_size_points((64,))[0][1].stb_entries == 64
+        rob_point = rob_window_points((32,))[0]
+        assert rob_point[2].rob_entries == 32

@@ -1,0 +1,148 @@
+"""Tests for the x86-64 ABI model: registers, bitmasks, byte selection."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.syscalls.abi import (
+    ArgumentRegisterMap,
+    RegisterFile,
+    SYSCALL_ID_REGISTER,
+    X86_64_ARG_REGISTERS,
+    argument_bitmask,
+    bitmask_arg_count,
+    select_bytes,
+)
+
+
+class TestArgumentRegisterMap:
+    def test_default_x86_order(self):
+        abi = ArgumentRegisterMap()
+        assert abi.register_for(0) == "rdi"
+        assert abi.register_for(3) == "r10"
+        assert abi.registers == X86_64_ARG_REGISTERS
+
+    def test_pack_unpack_roundtrip(self):
+        abi = ArgumentRegisterMap()
+        regs = abi.pack([10, 20, 30])
+        assert regs == {"rdi": 10, "rsi": 20, "rdx": 30}
+        assert abi.unpack(regs, 3) == (10, 20, 30)
+
+    def test_unpack_missing_register_defaults_zero(self):
+        abi = ArgumentRegisterMap()
+        assert abi.unpack({"rdi": 5}, 2) == (5, 0)
+
+    def test_custom_registers(self):
+        """Section VIII: an OS-programmable register mapping."""
+        abi = ArgumentRegisterMap(("r8", "r9", "rdi"))
+        assert abi.register_for(2) == "rdi"
+
+    def test_duplicate_registers_rejected(self):
+        with pytest.raises(ConfigError):
+            ArgumentRegisterMap(("rdi", "rdi"))
+
+    def test_rax_reserved(self):
+        with pytest.raises(ConfigError):
+            ArgumentRegisterMap(("rax", "rdi"))
+
+    def test_out_of_range_index(self):
+        abi = ArgumentRegisterMap()
+        with pytest.raises(ConfigError):
+            abi.register_for(6)
+
+    def test_too_many_args(self):
+        abi = ArgumentRegisterMap()
+        with pytest.raises(ConfigError):
+            abi.pack(list(range(7)))
+
+
+class TestRegisterFile:
+    def test_as_dict(self):
+        rf = RegisterFile(rax=135, args=(0xFFFFFFFF,))
+        regs = rf.as_dict()
+        assert regs[SYSCALL_ID_REGISTER] == 135
+        assert regs["rdi"] == 0xFFFFFFFF
+
+
+class TestArgumentBitmask:
+    def test_full_width_default(self):
+        mask = argument_bitmask(2)
+        assert mask == 0xFFFF  # two args x 8 bytes
+
+    def test_narrow_bytes(self):
+        """The paper's example: two one-byte args set bits 0 and 8."""
+        mask = argument_bitmask(2, [1, 1])
+        assert mask == (1 << 0) | (1 << 8)
+
+    def test_zero_args(self):
+        assert argument_bitmask(0) == 0
+
+    def test_six_args_fits_48_bits(self):
+        mask = argument_bitmask(6)
+        assert mask == (1 << 48) - 1
+
+    def test_invalid_nargs(self):
+        with pytest.raises(ConfigError):
+            argument_bitmask(7)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            argument_bitmask(2, [8])
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            argument_bitmask(1, [0])
+
+
+class TestBitmaskArgCount:
+    def test_roundtrip(self):
+        for nargs in range(7):
+            assert bitmask_arg_count(argument_bitmask(nargs)) == nargs
+
+    def test_sparse_mask_counts_highest(self):
+        # Only argument 2 used -> count is 3 (Figure 7's semantics).
+        mask = 0xFF << 16
+        assert bitmask_arg_count(mask) == 3
+
+    def test_too_wide(self):
+        with pytest.raises(ConfigError):
+            bitmask_arg_count(1 << 48)
+
+    def test_negative(self):
+        with pytest.raises(ConfigError):
+            bitmask_arg_count(-1)
+
+
+class TestSelectBytes:
+    def test_selects_masked_bytes_only(self):
+        mask = argument_bitmask(2, [1, 1])
+        out = select_bytes((0xAB, 0xCD), mask)
+        assert out == bytes([0xAB, 0xCD])
+
+    def test_full_argument(self):
+        mask = argument_bitmask(1)
+        out = select_bytes((0x0102030405060708,), mask)
+        assert out == bytes([8, 7, 6, 5, 4, 3, 2, 1])  # little-endian
+
+    def test_zero_mask_empty(self):
+        assert select_bytes((1, 2, 3), 0) == b""
+
+    def test_short_args_padded(self):
+        mask = argument_bitmask(3)
+        out = select_bytes((1,), mask)
+        assert len(out) == 24
+        assert out[8:] == bytes(16)
+
+    def test_distinct_args_distinct_bytes(self):
+        mask = argument_bitmask(2)
+        a = select_bytes((1, 2), mask)
+        b = select_bytes((2, 1), mask)
+        assert a != b
+
+    def test_negative_wraps_to_u64(self):
+        mask = argument_bitmask(1)
+        out = select_bytes((-1,), mask)
+        assert out == b"\xff" * 8
+
+    def test_bad_mask(self):
+        with pytest.raises(ConfigError):
+            select_bytes((1,), 1 << 48)

@@ -1,0 +1,152 @@
+"""Tests for the x86-64 syscall table substrate."""
+
+import pytest
+
+from repro.common.errors import UnknownSyscallError
+from repro.syscalls.table import (
+    LINUX_X86_64,
+    MAX_SYSCALL_ARGS,
+    SyscallDef,
+    SyscallTable,
+    sid,
+)
+
+
+class TestWellKnownEntries:
+    """Spot-check the ABI transcription against known syscall numbers."""
+
+    @pytest.mark.parametrize(
+        "number,name",
+        [
+            (0, "read"),
+            (1, "write"),
+            (2, "open"),
+            (3, "close"),
+            (9, "mmap"),
+            (39, "getpid"),
+            (57, "fork"),
+            (59, "execve"),
+            (60, "exit"),
+            (110, "getppid"),
+            (135, "personality"),
+            (202, "futex"),
+            (232, "epoll_wait"),
+            (257, "openat"),
+            (288, "accept4"),
+            (317, "seccomp"),
+            (435, "clone3"),
+        ],
+    )
+    def test_sid_name_mapping(self, number, name):
+        assert LINUX_X86_64.by_sid(number).name == name
+        assert LINUX_X86_64.by_name(name).sid == number
+
+    @pytest.mark.parametrize(
+        "name,nargs",
+        [
+            ("read", 3),
+            ("getpid", 0),
+            ("mmap", 6),
+            ("futex", 6),
+            ("close", 1),
+            ("clone", 5),
+            ("personality", 1),
+        ],
+    )
+    def test_arg_counts(self, name, nargs):
+        assert LINUX_X86_64.by_name(name).nargs == nargs
+
+
+class TestPointerMasks:
+    def test_read_buffer_is_pointer(self):
+        entry = LINUX_X86_64.by_name("read")
+        assert entry.checkable_args == (0, 2)  # fd and count, not buf
+
+    def test_stat_all_pointers(self):
+        entry = LINUX_X86_64.by_name("stat")
+        assert entry.num_checkable_args == 0
+
+    def test_futex_checkable(self):
+        entry = LINUX_X86_64.by_name("futex")
+        # op, val, val3 are values; uaddr, timeout, uaddr2 are pointers.
+        assert entry.checkable_args == (1, 2, 5)
+
+    def test_mask_never_wider_than_nargs(self):
+        for entry in LINUX_X86_64:
+            assert entry.pointer_mask >> entry.nargs == 0
+
+
+class TestSyscallDefValidation:
+    def test_nargs_bounds(self):
+        with pytest.raises(ValueError):
+            SyscallDef(sid=1000, name="bogus", nargs=MAX_SYSCALL_ARGS + 1)
+
+    def test_pointer_mask_bounds(self):
+        with pytest.raises(ValueError):
+            SyscallDef(sid=1000, name="bogus", nargs=1, pointer_mask=0b10)
+
+
+class TestTableIntegrity:
+    def test_no_gaps_in_core_range(self):
+        for number in range(335):
+            assert number in LINUX_X86_64
+
+    def test_io_uring_range_present(self):
+        for number in range(424, 436):
+            assert number in LINUX_X86_64
+
+    def test_total_count(self):
+        assert len(LINUX_X86_64) == 347
+
+    def test_duplicate_sid_rejected(self):
+        with pytest.raises(ValueError):
+            SyscallTable(
+                [SyscallDef(0, "a", 0), SyscallDef(0, "b", 0)]
+            )
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            SyscallTable(
+                [SyscallDef(0, "a", 0), SyscallDef(1, "a", 0)]
+            )
+
+    def test_iteration_sorted(self):
+        sids = [entry.sid for entry in LINUX_X86_64]
+        assert sids == sorted(sids)
+
+
+class TestLookup:
+    def test_lookup_by_int_str_and_def(self):
+        read = LINUX_X86_64.by_name("read")
+        assert LINUX_X86_64.lookup(0) is read
+        assert LINUX_X86_64.lookup("read") is read
+        assert LINUX_X86_64.lookup(read) is read
+
+    def test_unknown_sid(self):
+        with pytest.raises(UnknownSyscallError):
+            LINUX_X86_64.by_sid(9999)
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownSyscallError):
+            LINUX_X86_64.by_name("not_a_syscall")
+
+    def test_unknown_type(self):
+        with pytest.raises(UnknownSyscallError):
+            LINUX_X86_64.lookup(3.14)
+
+    def test_contains(self):
+        assert "read" in LINUX_X86_64
+        assert 0 in LINUX_X86_64
+        assert "nope" not in LINUX_X86_64
+        assert 3.14 not in LINUX_X86_64
+
+    def test_sid_shorthand(self):
+        assert sid("personality") == 135
+
+    def test_max_sid(self):
+        assert LINUX_X86_64.max_sid == 435
+
+    def test_names_tuple(self):
+        names = LINUX_X86_64.names()
+        assert names[0] == "read"
+        assert len(names) == len(LINUX_X86_64)
