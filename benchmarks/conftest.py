@@ -7,10 +7,30 @@ is reduced relative to the paper's 2-billion-instruction windows to keep
 the harness fast; the shapes are stable at this scale.
 """
 
+import os
+
 import pytest
 
 #: Events per workload for benchmark runs.
 BENCH_EVENTS = 8000
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the experiment cache at a per-session scratch directory.
+
+    Benchmarks measure regeneration cost, so they must not be served
+    stale results from (or pollute) the user's real cache; within the
+    session, calibration values are still shared across benchmarks.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture(scope="session")

@@ -1,5 +1,6 @@
-"""Shared utilities: errors, deterministic RNG, statistics helpers."""
+"""Shared utilities: errors, deterministic RNG, statistics, telemetry."""
 
+from repro.common import telemetry
 from repro.common.errors import (
     BpfError,
     BpfRuntimeError,
@@ -15,6 +16,7 @@ from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng, weighted_choic
 from repro.common.stats import geomean, histogram, mean, normalise, percentile, ratio
 
 __all__ = [
+    "telemetry",
     "BpfError",
     "BpfRuntimeError",
     "BpfVerifyError",

@@ -1,0 +1,244 @@
+"""Run telemetry: per-experiment timing, cache status, simulation totals.
+
+The experiment engine wraps every registry entry in an
+:class:`ExperimentRecord` (wall time, cache hit/miss, failure capture)
+and aggregates them into a :class:`RunReport` — a structured JSON
+document written next to the result cache and rendered by
+``python -m repro.experiments summary``.
+
+Simulation counters are collected process-locally: the syscall-level
+simulator calls :func:`record_simulation` on every trace it drives, and
+the engine snapshots/resets the counters around each experiment.  Each
+engine worker is a separate process, so counters never race and are
+attributed to exactly one experiment even when workers are reused.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Cache-status values an ExperimentRecord may carry.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_REFRESH = "refresh"
+CACHE_OFF = "off"
+
+
+@dataclass
+class SimulationCounters:
+    """Process-local totals across every simulated trace."""
+
+    traces_run: int = 0
+    events_simulated: int = 0
+    check_cycles: float = 0.0
+    total_cycles: float = 0.0
+    #: Per-regime totals over the measured (post-warm-up) window.
+    regime_cycles: Dict[str, float] = field(default_factory=dict)
+    regime_events: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "traces_run": self.traces_run,
+            "events_simulated": self.events_simulated,
+            "check_cycles": round(self.check_cycles, 3),
+            "total_cycles": round(self.total_cycles, 3),
+            "regime_cycles": {k: round(v, 3) for k, v in sorted(self.regime_cycles.items())},
+            "regime_events": dict(sorted(self.regime_events.items())),
+        }
+
+
+_COUNTERS = SimulationCounters()
+
+
+def record_simulation(
+    regime: str, events: int, check_cycles: float, total_cycles: float
+) -> None:
+    """Account one simulated trace (called by the kernel simulator)."""
+    _COUNTERS.traces_run += 1
+    _COUNTERS.events_simulated += events
+    _COUNTERS.check_cycles += check_cycles
+    _COUNTERS.total_cycles += total_cycles
+    _COUNTERS.regime_cycles[regime] = _COUNTERS.regime_cycles.get(regime, 0.0) + total_cycles
+    _COUNTERS.regime_events[regime] = _COUNTERS.regime_events.get(regime, 0) + events
+
+
+def reset_counters() -> None:
+    """Zero the process-local simulation counters."""
+    global _COUNTERS
+    _COUNTERS = SimulationCounters()
+
+
+def counters_snapshot() -> Dict[str, Any]:
+    """JSON-ready snapshot of the current counters."""
+    return _COUNTERS.as_dict()
+
+
+@dataclass
+class ExperimentRecord:
+    """Telemetry for one engine-executed experiment."""
+
+    experiment_id: str
+    title: str = ""
+    status: str = "ok"  # "ok" | "failed"
+    cache: str = CACHE_OFF
+    wall_time_s: float = 0.0
+    params_digest: str = ""
+    error: str = ""
+    simulation: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "status": self.status,
+            "cache": self.cache,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "params_digest": self.params_digest,
+            "error": self.error,
+            "simulation": self.simulation,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRecord":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload.get("title", ""),
+            status=payload.get("status", "ok"),
+            cache=payload.get("cache", CACHE_OFF),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            params_digest=payload.get("params_digest", ""),
+            error=payload.get("error", ""),
+            simulation=dict(payload.get("simulation", {})),
+        )
+
+
+@dataclass
+class RunReport:
+    """One engine invocation: run-level metadata plus per-experiment records."""
+
+    records: List[ExperimentRecord] = field(default_factory=list)
+    jobs: int = 1
+    events: Optional[int] = None
+    seed: Optional[int] = None
+    code_fingerprint: str = ""
+    cache_dir: str = ""
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def wall_time_s(self) -> float:
+        return max(self.finished_at - self.started_at, 0.0)
+
+    @property
+    def failures(self) -> List[ExperimentRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache == CACHE_HIT)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if r.cache in (CACHE_MISS, CACHE_REFRESH))
+
+    def events_simulated(self) -> int:
+        return sum(r.simulation.get("events_simulated", 0) for r in self.records)
+
+    def regime_cycles(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for regime, cycles in record.simulation.get("regime_cycles", {}).items():
+                totals[regime] = totals.get(regime, 0.0) + cycles
+        return totals
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.run-report/1",
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "jobs": self.jobs,
+            "events": self.events,
+            "seed": self.seed,
+            "code_fingerprint": self.code_fingerprint,
+            "cache_dir": self.cache_dir,
+            "totals": {
+                "experiments": len(self.records),
+                "failed": len(self.failures),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "events_simulated": self.events_simulated(),
+            },
+            "records": [r.to_json_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
+        return cls(
+            records=[ExperimentRecord.from_json_dict(r) for r in payload.get("records", [])],
+            jobs=int(payload.get("jobs", 1)),
+            events=payload.get("events"),
+            seed=payload.get("seed"),
+            code_fingerprint=payload.get("code_fingerprint", ""),
+            cache_dir=payload.get("cache_dir", ""),
+            started_at=float(payload.get("started_at", 0.0)),
+            finished_at=float(payload.get("finished_at", 0.0)),
+        )
+
+    def write(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def read(cls, path: Path) -> "RunReport":
+        return cls.from_json_dict(json.loads(Path(path).read_text()))
+
+    # -- rendering -----------------------------------------------------
+
+    def format_summary(self) -> str:
+        """Fixed-width per-experiment summary (the ``summary`` subcommand)."""
+        header = ("experiment", "status", "cache", "wall_s", "events", "traces", "Mcycles")
+        rows = [header]
+        for r in self.records:
+            sim = r.simulation
+            rows.append(
+                (
+                    r.experiment_id,
+                    r.status,
+                    r.cache,
+                    f"{r.wall_time_s:.2f}",
+                    str(sim.get("events_simulated", 0)),
+                    str(sim.get("traces_run", 0)),
+                    f"{sim.get('total_cycles', 0.0) / 1e6:.1f}",
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["== run summary"]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if index == 0:
+                lines.append("-" * len(lines[-1]))
+        lines.append(
+            f"total: {len(self.records)} experiments in {self.wall_time_s:.2f}s "
+            f"(jobs={self.jobs}, cache: {self.cache_hits} hit / "
+            f"{self.cache_misses} miss, {len(self.failures)} failed)"
+        )
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.started_at))
+        lines.append(f"started: {when}  code: {self.code_fingerprint or '?'}")
+        for record in self.failures:
+            first_line = record.error.strip().splitlines()[-1] if record.error else "?"
+            lines.append(f"FAILED {record.experiment_id}: {first_line}")
+        return "\n".join(lines)

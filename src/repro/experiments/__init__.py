@@ -1,4 +1,5 @@
-"""Experiment layer: one module per paper table/figure plus the runner."""
+"""Experiment layer: one module per paper table/figure plus the runner,
+the parallel engine, and the on-disk result cache."""
 
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import (
@@ -16,4 +17,21 @@ __all__ = [
     "build_context",
     "calibrate_work_cycles",
     "get_context",
+    "run_suite",
+    "SuiteRun",
 ]
+
+
+def run_suite(*args, **kwargs):
+    """Engine entry point (lazy import keeps the registry load cheap)."""
+    from repro.experiments.engine import run_suite as _run_suite
+
+    return _run_suite(*args, **kwargs)
+
+
+def __getattr__(name):
+    if name == "SuiteRun":
+        from repro.experiments.engine import SuiteRun
+
+        return SuiteRun
+    raise AttributeError(name)

@@ -2,28 +2,69 @@
 
 Usage::
 
-    python -m repro.experiments            # every table and figure
-    python -m repro.experiments fig12      # one artifact
-    python -m repro.experiments fig2 --events 6000
+    python -m repro.experiments                     # every table and figure
+    python -m repro.experiments fig12 fig13         # selected artifacts
+    python -m repro.experiments --jobs 4            # parallel across processes
+    python -m repro.experiments --serial --no-cache # cold, sequential run
+    python -m repro.experiments --refresh           # recompute + repopulate cache
+    python -m repro.experiments summary             # telemetry of the last run
+
+Results are cached on disk keyed by source fingerprint and parameters
+(`docs/EXPERIMENT_GUIDE.md`); every run writes a JSON telemetry report
+the ``summary`` subcommand renders.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.experiments.registry import REGISTRY, by_id
+from repro.experiments import cache as result_cache
+from repro.experiments import engine
+from repro.experiments.registry import REGISTRY
+from repro.common.telemetry import RunReport
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.experiments", description=__doc__)
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment id (e.g. fig2, fig12, table1); all when omitted",
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help="experiment ids (e.g. fig2 fig12 table1); all when omitted",
     )
     parser.add_argument(
         "--events", type=int, default=None, help="trace length per workload"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed; each experiment derives its own from it",
+    )
+    jobs = parser.add_mutually_exclusive_group()
+    jobs.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="run experiments across N worker processes (default: 1)",
+    )
+    jobs.add_argument(
+        "--serial", action="store_true", help="force sequential execution"
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result/calibration cache entirely",
+    )
+    cache_group.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every experiment and repopulate the cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-draco)",
+    )
+    parser.add_argument(
+        "--report", type=str, default=None,
+        help="write the JSON run report here (default: <cache>/runs/run-<ts>.json)",
     )
     parser.add_argument(
         "--csv-dir", type=str, default=None,
@@ -33,31 +74,92 @@ def main(argv=None) -> int:
         "--markdown", type=str, default=None,
         help="also write all artifacts into one markdown report file",
     )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-artifact tables"
+    )
+    return parser
+
+
+def _summary_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments summary",
+        description="Render the telemetry of a previous run.",
+    )
+    parser.add_argument(
+        "--report", type=str, default=None,
+        help="run report to render (default: <cache>/runs/latest.json)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="cache directory to look for runs/latest.json in",
+    )
     args = parser.parse_args(argv)
+    if args.cache_dir:
+        import os
 
-    if args.experiment:
-        experiments = [by_id(args.experiment)]
+        os.environ[result_cache.CACHE_DIR_ENV] = args.cache_dir
+    path = Path(args.report) if args.report else result_cache.cache_root() / "runs" / "latest.json"
+    if not path.exists():
+        print(f"no run report at {path} — run some experiments first", file=sys.stderr)
+        return 1
+    print(RunReport.read(path).format_summary())
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "summary":
+        return _summary_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+
+    known = {e.experiment_id for e in REGISTRY}
+    unknown = [i for i in args.experiments if i not in known]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+
+    if args.no_cache:
+        cache_mode = engine.CACHE_OFF
+    elif args.refresh:
+        cache_mode = engine.CACHE_REFRESH
     else:
-        experiments = list(REGISTRY)
-    markdown_parts = []
-    for experiment in experiments:
-        result = experiment.run(events=args.events)
-        print(result.format_table())
-        print()
-        if args.csv_dir:
-            from pathlib import Path
+        cache_mode = engine.CACHE_ON
 
+    run = engine.run_suite(
+        args.experiments or None,
+        events=args.events,
+        seed=args.seed,
+        jobs=1 if args.serial else max(args.jobs, 1),
+        cache_mode=cache_mode,
+        cache_dir=args.cache_dir,
+    )
+
+    markdown_parts = []
+    for outcome in run.outcomes:
+        if outcome.result is None:
+            continue
+        if not args.quiet:
+            print(outcome.result.format_table())
+            print()
+        if args.csv_dir:
             directory = Path(args.csv_dir)
             directory.mkdir(parents=True, exist_ok=True)
-            result.write_csv(directory / f"{experiment.experiment_id}.csv")
+            outcome.result.write_csv(directory / f"{outcome.experiment_id}.csv")
         if args.markdown:
-            markdown_parts.append(result.to_markdown())
+            markdown_parts.append(outcome.result.to_markdown())
     if args.markdown:
-        from pathlib import Path
-
         header = "# Draco reproduction — regenerated evaluation\n\n"
         Path(args.markdown).write_text(header + "\n".join(markdown_parts))
-    return 0
+
+    report_path = engine.write_report(run, args.report)
+    print(run.report.format_summary())
+    print(f"report: {report_path}")
+
+    for outcome in run.failures:
+        print(f"\n--- {outcome.experiment_id} failed ---", file=sys.stderr)
+        print(outcome.record.error, file=sys.stderr)
+    return 1 if run.failures else 0
 
 
 if __name__ == "__main__":

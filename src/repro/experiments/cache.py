@@ -1,0 +1,173 @@
+"""Content-addressed on-disk cache for experiment artifacts.
+
+Draco's thesis is that repeated checking work should be validated once
+and then served from a cache; this module applies the same discipline to
+the experiment pipeline itself.  Two artifact kinds are cached:
+
+* **experiment results** — the full :class:`ExperimentResult` of a
+  registry entry, keyed by ``(experiment id, code fingerprint, params
+  digest)``, so an unchanged experiment is instant on re-run;
+* **calibration values** — the solved application work per syscall
+  ``W`` from :func:`repro.experiments.runner.calibrate_work_cycles`,
+  keyed by the full calibration input (workload spec, events, seed,
+  cost params, compiler, code fingerprint), so rebuilding contexts
+  skips the expensive filter-probe run.
+
+The *code fingerprint* is a SHA-256 over every ``.py`` file under
+``src/repro`` — any source edit invalidates the whole cache, which is
+the safe direction for a research repo.  The *params digest* is a
+SHA-256 of the canonical-JSON encoding of the run parameters.
+
+Layout (under :func:`cache_root`, default ``~/.cache/repro-draco`` or
+``$REPRO_CACHE_DIR``)::
+
+    results/<experiment_id>/<digest>.json    cached ExperimentResult
+    calibration/<digest>.json                cached work-cycle value
+    runs/latest.json                         most recent run report
+    runs/run-<timestamp>.json                archived run reports
+
+Set ``REPRO_CACHE_DISABLE=1`` (or pass ``--no-cache`` to the CLI) to
+bypass both reads and writes.  All writes are atomic
+(temp-file-then-rename) so concurrent engine workers never observe a
+torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.experiments.results import ExperimentResult
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache entirely (any non-empty value).
+CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE_DISABLE`` is set to a non-empty value."""
+    return not os.environ.get(CACHE_DISABLE_ENV)
+
+
+def cache_root() -> Path:
+    """The cache directory (not created until first write)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-draco"
+
+
+@lru_cache(maxsize=1)
+def _fingerprint_of_tree(package_root: str) -> str:
+    digest = hashlib.sha256()
+    root = Path(package_root)
+    for path in sorted(root.rglob("*.py"), key=lambda p: p.relative_to(root).as_posix()):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:20]
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the ``repro`` package source (any edit invalidates)."""
+    return _fingerprint_of_tree(str(Path(__file__).resolve().parents[1]))
+
+
+def params_digest(params: Mapping[str, Any]) -> str:
+    """Digest of canonical-JSON-encoded parameters (order-insensitive)."""
+    encoded = json.dumps(params, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:20]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Any]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None  # missing or torn entry: treat as a miss
+
+
+class ResultCache:
+    """On-disk store for :class:`ExperimentResult` payloads."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else cache_root()
+
+    # -- experiment results --------------------------------------------
+
+    def result_key(self, experiment_id: str, run_params: Mapping[str, Any]) -> str:
+        payload = dict(run_params)
+        payload["experiment_id"] = experiment_id
+        payload["code"] = code_fingerprint()
+        return params_digest(payload)
+
+    def result_path(self, experiment_id: str, digest: str) -> Path:
+        return self.root / "results" / experiment_id / f"{digest}.json"
+
+    def load_result(self, experiment_id: str, digest: str) -> Optional[ExperimentResult]:
+        payload = _read_json(self.result_path(experiment_id, digest))
+        if payload is None:
+            return None
+        try:
+            return ExperimentResult.from_json_dict(payload)
+        except (KeyError, TypeError):
+            return None  # schema drifted under an unchanged fingerprint
+
+    def store_result(
+        self, experiment_id: str, digest: str, result: ExperimentResult
+    ) -> None:
+        _atomic_write(self.result_path(experiment_id, digest), result.to_json())
+
+    # -- calibration values --------------------------------------------
+
+    def calibration_path(self, digest: str) -> Path:
+        return self.root / "calibration" / f"{digest}.json"
+
+    def load_calibration(self, digest: str) -> Optional[float]:
+        payload = _read_json(self.calibration_path(digest))
+        if isinstance(payload, (int, float)):
+            return float(payload)
+        return None
+
+    def store_calibration(self, digest: str, value: float) -> None:
+        _atomic_write(self.calibration_path(digest), json.dumps(value))
+
+
+def spec_payload(spec) -> Mapping[str, Any]:
+    """Stable JSON-ready description of a WorkloadSpec for digesting.
+
+    Deliberately hand-rolled rather than ``dataclasses.asdict``: the
+    spec's syscall table is a large non-dataclass object whose repr is
+    not stable across processes, so it is summarised by its entries.
+    """
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "syscalls": [
+            {
+                "name": s.name,
+                "weight": s.weight,
+                "callsites": s.callsites,
+                "stickiness": s.stickiness,
+                "arg_sets": [[list(a.values), a.weight] for a in s.arg_sets],
+            }
+            for s in spec.syscalls
+        ],
+        "fig2_targets": dict(spec.fig2_targets),
+        "table": sorted(
+            (d.sid, d.name, d.nargs, d.pointer_mask) for d in spec.table
+        ),
+    }

@@ -1,0 +1,234 @@
+"""Parallel experiment engine: process fan-out, caching, failure capture.
+
+Runs registry entries across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(or serially with the same code path when ``jobs=1``) with:
+
+* **deterministic seeding** — with a root ``seed``, every experiment
+  gets ``derive_seed(seed, experiment_id)``, so results depend only on
+  the root seed and the experiment's identity, never on scheduling
+  order or worker assignment.  Without a root seed each experiment
+  keeps its module default, matching historical output exactly;
+* **result ordering** — outcomes are collected in registry order
+  regardless of completion order, so ``--jobs N`` output is
+  byte-identical to ``--serial``;
+* **failure isolation** — an experiment that raises produces a
+  ``failed`` record carrying the traceback; the rest of the suite
+  completes normally;
+* **on-disk caching** — results are served from
+  :class:`repro.experiments.cache.ResultCache` when the experiment's
+  code fingerprint and parameters match a previous run.
+
+Cache coordination across worker processes happens through the
+``REPRO_CACHE_DIR`` / ``REPRO_CACHE_DISABLE`` environment variables,
+set (and restored) around the suite so forked workers inherit them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.common import telemetry
+from repro.common.rng import derive_seed
+from repro.experiments import cache as result_cache
+from repro.experiments.registry import REGISTRY, by_id
+from repro.experiments.results import ExperimentResult
+
+#: Cache behaviour modes for one engine run.
+CACHE_ON = "on"
+CACHE_OFF = "off"
+CACHE_REFRESH = "refresh"  # recompute everything, then repopulate
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result + telemetry for one executed (or cache-served) experiment."""
+
+    experiment_id: str
+    result: Optional[ExperimentResult]
+    record: telemetry.ExperimentRecord
+
+    @property
+    def ok(self) -> bool:
+        return self.record.ok
+
+
+@dataclass
+class SuiteRun:
+    """Everything one engine invocation produced, in registry order."""
+
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+    report: telemetry.RunReport = field(default_factory=telemetry.RunReport)
+
+    @property
+    def results(self) -> Dict[str, ExperimentResult]:
+        return {o.experiment_id: o.result for o in self.outcomes if o.result is not None}
+
+    @property
+    def failures(self) -> List[ExperimentOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+
+def _execute_one(
+    experiment_id: str, run_kwargs: Dict[str, Any], cache_mode: str
+) -> Dict[str, Any]:
+    """Worker entry point: run (or cache-serve) one experiment.
+
+    Returns a plain JSON-ready payload so results cross the process
+    boundary without pickling experiment internals.  Never raises:
+    failures are captured into the record.
+    """
+    experiment = by_id(experiment_id)
+    telemetry.reset_counters()
+    store = result_cache.ResultCache()
+    digest = store.result_key(experiment_id, run_kwargs)
+    record = telemetry.ExperimentRecord(
+        experiment_id=experiment_id,
+        title=experiment.title,
+        cache=telemetry.CACHE_OFF,
+        params_digest=digest,
+    )
+    started = time.perf_counter()
+    result: Optional[ExperimentResult] = None
+
+    if cache_mode == CACHE_ON:
+        result = store.load_result(experiment_id, digest)
+        record.cache = telemetry.CACHE_HIT if result is not None else telemetry.CACHE_MISS
+    elif cache_mode == CACHE_REFRESH:
+        record.cache = telemetry.CACHE_REFRESH
+
+    if result is None:
+        try:
+            result = experiment.run(**run_kwargs)
+        except Exception:
+            record.status = "failed"
+            record.error = traceback.format_exc()
+        else:
+            if cache_mode in (CACHE_ON, CACHE_REFRESH):
+                store.store_result(experiment_id, digest, result)
+
+    record.wall_time_s = time.perf_counter() - started
+    record.simulation = telemetry.counters_snapshot()
+    return {
+        "result": result.to_json_dict() if result is not None else None,
+        "record": record.to_json_dict(),
+    }
+
+
+def _task_kwargs(
+    experiment_id: str,
+    events: Optional[int],
+    seed: Optional[int],
+    run_overrides: Optional[Mapping[str, Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if events is not None:
+        kwargs["events"] = events
+    if seed is not None:
+        kwargs["seed"] = derive_seed(seed, experiment_id)
+    if run_overrides and experiment_id in run_overrides:
+        kwargs.update(run_overrides[experiment_id])
+    return kwargs
+
+
+def run_suite(
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    events: Optional[int] = None,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    cache_mode: str = CACHE_ON,
+    cache_dir: Optional[str] = None,
+    run_overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> SuiteRun:
+    """Run a set of registry experiments, parallel when ``jobs > 1``.
+
+    ``run_overrides`` maps experiment id to extra keyword arguments for
+    its ``run()`` (e.g. a workload subset), applied after the shared
+    ``events``/``seed``; unknown ids raise ``KeyError`` up front.
+    """
+    ids = list(experiment_ids) if experiment_ids else [e.experiment_id for e in REGISTRY]
+    for experiment_id in ids:
+        by_id(experiment_id)  # fail fast on unknown ids
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+
+    tasks = [
+        (experiment_id, _task_kwargs(experiment_id, events, seed, run_overrides))
+        for experiment_id in ids
+    ]
+
+    saved_env = {
+        key: os.environ.get(key)
+        for key in (result_cache.CACHE_DIR_ENV, result_cache.CACHE_DISABLE_ENV)
+    }
+    if cache_dir is not None:
+        os.environ[result_cache.CACHE_DIR_ENV] = str(cache_dir)
+    if cache_mode == CACHE_OFF:
+        os.environ[result_cache.CACHE_DISABLE_ENV] = "1"
+    else:
+        os.environ.pop(result_cache.CACHE_DISABLE_ENV, None)
+
+    report = telemetry.RunReport(
+        jobs=jobs,
+        events=events,
+        seed=seed,
+        code_fingerprint=result_cache.code_fingerprint(),
+        cache_dir=str(result_cache.cache_root()),
+        started_at=time.time(),
+    )
+    try:
+        if jobs == 1 or len(tasks) <= 1:
+            payloads = [
+                _execute_one(experiment_id, kwargs, cache_mode)
+                for experiment_id, kwargs in tasks
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = [
+                    pool.submit(_execute_one, experiment_id, kwargs, cache_mode)
+                    for experiment_id, kwargs in tasks
+                ]
+                payloads = [future.result() for future in futures]
+    finally:
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    run = SuiteRun(report=report)
+    for payload in payloads:
+        record = telemetry.ExperimentRecord.from_json_dict(payload["record"])
+        result = (
+            ExperimentResult.from_json_dict(payload["result"])
+            if payload["result"] is not None
+            else None
+        )
+        run.outcomes.append(
+            ExperimentOutcome(
+                experiment_id=record.experiment_id, result=result, record=record
+            )
+        )
+        report.records.append(record)
+    report.finished_at = time.time()
+    return run
+
+
+def write_report(run: SuiteRun, path: Optional[str] = None) -> str:
+    """Persist the run report; default under the cache's ``runs/`` dir.
+
+    The report is written both to the requested path and to
+    ``runs/latest.json`` so ``summary`` has a stable default to read.
+    """
+    runs_dir = result_cache.cache_root() / "runs"
+    if path is None:
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(run.report.started_at))
+        path = str(runs_dir / f"run-{stamp}.json")
+    run.report.write(path)
+    run.report.write(runs_dir / "latest.json")
+    return path

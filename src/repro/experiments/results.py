@@ -53,6 +53,33 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (tuples become lists; see from_json_dict)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            columns=tuple(payload["columns"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            notes=tuple(payload.get("notes", ())),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding — stable byte-for-byte for equal results,
+        so cached and recomputed artifacts can be compared directly."""
+        import json
+
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
     def to_csv(self) -> str:
         """Render as CSV (plot-ready; the figures are one chart away)."""
         import csv

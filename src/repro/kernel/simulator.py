@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.common import telemetry
 from repro.common.errors import SimulationError
 from repro.kernel.regimes import CheckingRegime
 from repro.syscalls.events import SyscallTrace
@@ -81,6 +82,12 @@ def run_trace(
     mean_check = total_check / measured if measured else 0.0
     baseline = work_cycles_per_syscall + syscall_base_cycles
     normalized = (baseline + mean_check) / baseline
+    telemetry.record_simulation(
+        regime=regime.name,
+        events=n,
+        check_cycles=total_check,
+        total_cycles=measured * baseline + total_check,
+    )
     return RunResult(
         workload=workload_name,
         regime=regime.name,

@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Redirects the experiment engine's on-disk cache into a per-session
+scratch directory so tests neither read stale entries from nor write
+into the user's real cache (individual tests may still override
+``REPRO_CACHE_DIR`` via monkeypatch).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
