@@ -1,0 +1,196 @@
+"""Benchmark for the compile-once BPF fast path.
+
+Measures three engine configurations over one workload trace —
+
+* ``interpreter`` — per-event cBPF interpretation (memoization off);
+* ``compiled``    — the compile-once closures (memoization off);
+* ``memoized``    — the full fast path (compiled + decision memo);
+
+plus the cold end-to-end wall time of the experiment suite, and writes
+``BENCH_fastpath.json``.  ``--check`` compares the measured events/sec
+against a committed baseline and fails on a >30% regression (the CI
+smoke gate); ``--update`` refreshes the baseline in place.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py              # measure + write
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --check      # CI gate
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --update     # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_fastpath.json"
+
+#: Allowed fractional events/sec regression before --check fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: Cold wall time of the full registry at ``--suite-events 3000`` on the
+#: tree immediately before the fast path landed (same machine as the
+#: committed baseline); kept so the JSON shows the end-to-end speedup.
+PRE_FASTPATH_SUITE_WALL_S = 38.5
+
+
+def _build_modules(workload: str, events: int, seed: int):
+    from repro.seccomp.engine import SeccompKernelModule
+    from repro.seccomp.compiler import compile_profile_chunked
+    from repro.seccomp.toolkit import generate_bundle
+    from repro.workloads.catalog import CATALOG
+    from repro.workloads.generator import generate_trace, profile_trace
+
+    spec = CATALOG[workload]
+    trace = list(generate_trace(spec, events, seed=seed))
+    bundle = generate_bundle(profile_trace(spec, seed=seed), spec.name)
+    programs = compile_profile_chunked(bundle.complete, strategy="binary_tree")
+
+    modules = {}
+    for mode, memoize, compile_filters in (
+        ("interpreter", False, False),
+        ("compiled", False, True),
+        ("memoized", True, True),
+    ):
+        module = SeccompKernelModule(memoize=memoize, compile_filters=compile_filters)
+        for chunk, program in enumerate(programs):
+            module.attach(program, name=f"{bundle.complete.name}#{chunk}")
+        modules[mode] = module
+    return trace, modules
+
+
+def bench_check_loop(workload: str, events: int, seed: int, repeats: int) -> dict:
+    """Events/sec of ``module.check`` per engine configuration."""
+    trace, modules = _build_modules(workload, events, seed)
+    rates = {}
+    for mode, module in modules.items():
+        # Warm up (fills the decision memo for the memoized mode, which
+        # is exactly the steady state the simulator runs in).
+        for event in trace[: len(trace) // 4]:
+            module.check(event)
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for event in trace:
+                module.check(event)
+            elapsed = time.perf_counter() - start
+            best = max(best, len(trace) / elapsed)
+        rates[mode] = round(best, 1)
+    return rates
+
+
+def bench_cold_suite(events: int) -> dict:
+    """Cold wall time of every registry experiment (result cache off)."""
+    os.environ["REPRO_CACHE_DISABLE"] = "1"
+    from repro.experiments.registry import REGISTRY
+
+    start = time.perf_counter()
+    for entry in REGISTRY:
+        try:
+            entry.run(events=events)
+        except TypeError:
+            entry.run()
+    wall = time.perf_counter() - start
+    return {
+        "experiments": len(REGISTRY),
+        "events": events,
+        "wall_s": round(wall, 2),
+    }
+
+
+def measure(args) -> dict:
+    payload = {
+        "workload": args.workload,
+        "events": args.events,
+        "seed": args.seed,
+        "events_per_sec": bench_check_loop(
+            args.workload, args.events, args.seed, args.repeats
+        ),
+    }
+    rates = payload["events_per_sec"]
+    payload["speedup"] = {
+        "compiled_vs_interpreter": round(rates["compiled"] / rates["interpreter"], 2),
+        "memoized_vs_interpreter": round(rates["memoized"] / rates["interpreter"], 2),
+    }
+    if not args.skip_suite:
+        suite = bench_cold_suite(args.suite_events)
+        if args.suite_events == 3000:
+            suite["pre_fastpath_wall_s"] = PRE_FASTPATH_SUITE_WALL_S
+            suite["speedup"] = round(PRE_FASTPATH_SUITE_WALL_S / suite["wall_s"], 2)
+        payload["cold_suite"] = suite
+    return payload
+
+
+def check_regression(measured: dict, baseline: dict, tolerance: float) -> int:
+    failures = []
+    for mode, reference in baseline.get("events_per_sec", {}).items():
+        current = measured["events_per_sec"].get(mode)
+        if current is None:
+            failures.append(f"{mode}: missing from measurement")
+            continue
+        floor = reference * (1.0 - tolerance)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"{mode:12s} {current:12.1f} ev/s  (baseline {reference:.1f}, "
+            f"floor {floor:.1f})  {status}"
+        )
+        if current < floor:
+            failures.append(
+                f"{mode}: {current:.1f} ev/s < {floor:.1f} "
+                f"(baseline {reference:.1f}, tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("events/sec within tolerance of the committed baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="pipe-ipc")
+    parser.add_argument("--events", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--suite-events", type=int, default=3000)
+    parser.add_argument(
+        "--skip-suite", action="store_true",
+        help="skip the cold-suite timing (CI uses the check loop only)",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measurement to the baseline file",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    measured = measure(args)
+    print(json.dumps(measured, indent=2))
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError):
+            print(f"no readable baseline at {args.baseline}; failing --check")
+            return 1
+        return check_regression(measured, baseline, args.tolerance)
+
+    target = args.output or (args.baseline if args.update else None)
+    if target is not None:
+        target.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,10 @@ class SimulationCounters:
     """Process-local totals across every simulated trace."""
 
     traces_run: int = 0
+    #: Events in the measured (post-warm-up) window, matching the
+    #: cycle totals below; warm-up events are counted separately.
     events_simulated: int = 0
+    warmup_events: int = 0
     check_cycles: float = 0.0
     total_cycles: float = 0.0
     #: Per-regime totals over the measured (post-warm-up) window.
@@ -44,6 +47,7 @@ class SimulationCounters:
         return {
             "traces_run": self.traces_run,
             "events_simulated": self.events_simulated,
+            "warmup_events": self.warmup_events,
             "check_cycles": round(self.check_cycles, 3),
             "total_cycles": round(self.total_cycles, 3),
             "regime_cycles": {k: round(v, 3) for k, v in sorted(self.regime_cycles.items())},
@@ -55,11 +59,20 @@ _COUNTERS = SimulationCounters()
 
 
 def record_simulation(
-    regime: str, events: int, check_cycles: float, total_cycles: float
+    regime: str,
+    events: int,
+    check_cycles: float,
+    total_cycles: float,
+    warmup_events: int = 0,
 ) -> None:
-    """Account one simulated trace (called by the kernel simulator)."""
+    """Account one simulated trace (called by the kernel simulator).
+
+    ``events`` and the cycle totals all cover the measured window;
+    warm-up events are reported separately via ``warmup_events``.
+    """
     _COUNTERS.traces_run += 1
     _COUNTERS.events_simulated += events
+    _COUNTERS.warmup_events += warmup_events
     _COUNTERS.check_cycles += check_cycles
     _COUNTERS.total_cycles += total_cycles
     _COUNTERS.regime_cycles[regime] = _COUNTERS.regime_cycles.get(regime, 0.0) + total_cycles

@@ -131,10 +131,24 @@ class VAT:
 
     # -- operations -----------------------------------------------------------
 
+    #: Shared memo for Selector key derivation: select_bytes is a pure
+    #: function of (args, bitmask) and the simulator derives the same
+    #: handful of keys for every one of millions of events.
+    _key_memo: Dict[Tuple[Tuple[int, ...], int], bytes] = {}
+    _KEY_MEMO_LIMIT = 1 << 16
+
     @staticmethod
     def key_for(args: Iterable[int], arg_bitmask: int) -> bytes:
         """Selector-masked argument bytes (Figure 5)."""
-        return select_bytes(tuple(args), arg_bitmask)
+        memo = VAT._key_memo
+        probe = (tuple(args), arg_bitmask)
+        key = memo.get(probe)
+        if key is None:
+            key = select_bytes(probe[0], arg_bitmask)
+            if len(memo) >= VAT._KEY_MEMO_LIMIT:
+                memo.clear()
+            memo[probe] = key
+        return key
 
     def lookup(self, sid: int, key: bytes) -> Optional[VatProbe]:
         table = self._tables.get(sid)

@@ -19,6 +19,10 @@ class SetAssociativeCache:
     def __init__(self, params: CacheParams) -> None:
         self.params = params
         self._sets: List[Dict[int, int]] = [dict() for _ in range(params.num_sets)]
+        # Indices of non-empty sets.  The simulated working set touches
+        # a tiny fraction of the sets of a realistically-sized cache, so
+        # pollution sweeps walk this instead of every set.
+        self._occupied: set = set()
         self._clock = 0
         self.hits = 0
         self.misses = 0
@@ -47,6 +51,7 @@ class SetAssociativeCache:
             victim = min(lines, key=lines.get)  # true LRU
             del lines[victim]
         lines[tag] = self._clock
+        self._occupied.add(set_index)
         return False
 
     def probe(self, address: int) -> bool:
@@ -64,24 +69,39 @@ class SetAssociativeCache:
 
     def invalidate(self, address: int) -> bool:
         set_index, tag = self._locate(address)
-        return self._sets[set_index].pop(tag, None) is not None
+        lines = self._sets[set_index]
+        removed = lines.pop(tag, None) is not None
+        if removed and not lines:
+            self._occupied.discard(set_index)
+        return removed
 
     def invalidate_all(self) -> None:
-        for lines in self._sets:
-            lines.clear()
+        for set_index in self._occupied:
+            self._sets[set_index].clear()
+        self._occupied.clear()
 
     def evict_lru_fraction(self, fraction: float) -> int:
         """Evict the LRU *fraction* of each set — models pollution by
         unrelated application traffic between syscalls."""
         if not 0.0 <= fraction <= 1.0:
             raise ConfigError("fraction must be within [0, 1]")
+        # A set holds at most ``ways`` lines and evicts int(len * fraction)
+        # of them; if even a full set rounds to zero, no set can evict.
+        if int(self.params.ways * fraction) == 0:
+            return 0
         evicted = 0
-        for lines in self._sets:
+        emptied = []
+        for set_index in self._occupied:
+            lines = self._sets[set_index]
             count = int(len(lines) * fraction)
             for _ in range(count):
                 victim = min(lines, key=lines.get)
                 del lines[victim]
                 evicted += 1
+            if not lines:
+                emptied.append(set_index)
+        for set_index in emptied:
+            self._occupied.discard(set_index)
         return evicted
 
     # -- statistics -------------------------------------------------------------

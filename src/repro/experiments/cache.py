@@ -41,6 +41,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from repro.bpf.compile import COMPILER_VERSION
 from repro.experiments.results import ExperimentResult
 
 #: Environment variable overriding the cache directory.
@@ -112,6 +113,10 @@ class ResultCache:
         payload = dict(run_params)
         payload["experiment_id"] = experiment_id
         payload["code"] = code_fingerprint()
+        # The BPF filter compiler sits under every simulated check; a
+        # semantics change there must invalidate cached results even if
+        # it ships without a source diff (e.g. a vendored build).
+        payload["bpf_compiler"] = COMPILER_VERSION
         return params_digest(payload)
 
     def result_path(self, experiment_id: str, digest: str) -> Path:

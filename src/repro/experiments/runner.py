@@ -56,6 +56,39 @@ DEFAULT_EVENTS = 12_000
 #: syscall-bound but the model remains well-posed.
 MIN_WORK_CYCLES = 20.0
 
+#: docker-default is a pure function of the syscall table, but regimes
+#: are instantiated fresh per evaluation; share one profile object per
+#: table so downstream program-assembly memos hit.  Keyed by identity
+#: with a strong table reference so the id cannot be recycled.
+_DOCKER_MEMO: dict = {}
+
+
+def _docker_profile_for(table):
+    hit = _DOCKER_MEMO.get(id(table))
+    if hit is not None and hit[0] is table:
+        return hit[1]
+    profile = build_docker_default(table)
+    _DOCKER_MEMO[id(table)] = (table, profile)
+    return profile
+
+
+#: Profile bundles depend only on (workload spec, seed) — not on the
+#: trace length — so contexts with different ``events`` share them.
+_BUNDLE_MEMO: dict = {}
+_BUNDLE_MEMO_LIMIT = 64
+
+
+def _bundle_for(spec: WorkloadSpec, seed: int) -> ProfileBundle:
+    key = (id(spec), seed)
+    hit = _BUNDLE_MEMO.get(key)
+    if hit is not None and hit[0] is spec:
+        return hit[1]
+    bundle = generate_bundle(profile_trace(spec, seed=seed), spec.name)
+    if len(_BUNDLE_MEMO) >= _BUNDLE_MEMO_LIMIT:
+        _BUNDLE_MEMO.clear()
+    _BUNDLE_MEMO[key] = (spec, bundle)
+    return bundle
+
 
 @dataclass
 class WorkloadContext:
@@ -79,7 +112,7 @@ class WorkloadContext:
         """Instantiate a fresh checking regime by experiment name."""
         costs = overrides.pop("costs", self.costs)
         compiler = overrides.pop("compiler", self.compiler)
-        docker = build_docker_default(self.spec.table)
+        docker = _docker_profile_for(self.spec.table)
         base_kwargs = dict(costs=costs, compiler=compiler, **overrides)
         # Every profile is compiled with the same strategy; the default
         # tree layout reflects docker-default's measured near-noargs
@@ -168,6 +201,7 @@ def calibrate_work_cycles(
                 "costs": asdict(costs),
                 "compiler": compiler,
                 "code": result_cache.code_fingerprint(),
+                "bpf_compiler": result_cache.COMPILER_VERSION,
             }
         )
         cached = result_cache.ResultCache().load_calibration(digest)
@@ -205,7 +239,7 @@ def build_context(
     so old-kernel contexts reuse the same W with their own cost model.
     """
     trace = generate_trace(spec, events, seed=seed)
-    bundle = generate_bundle(profile_trace(spec, seed=seed), spec.name)
+    bundle = _bundle_for(spec, seed)
     work = calibrate_work_cycles(spec, trace, bundle, DEFAULT_SW_COSTS, compiler, seed=seed)
     return WorkloadContext(
         spec=spec,

@@ -16,7 +16,7 @@ cost.  The paper evaluates four families:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.hardware import HardwareDraco
 from repro.core.software import CheckOutcome, SoftwareDraco, build_process_tables
@@ -62,11 +62,34 @@ class InsecureRegime(CheckingRegime):
         return CheckOutcome(allowed=True, cycles=0.0, path="none")
 
 
-def _attach(
-    profile: SeccompProfile, times: int, compiler: str
-) -> SeccompKernelModule:
-    module = SeccompKernelModule()
+#: Assembled-program memo: profiles are immutable and regimes are built
+#: fresh per evaluation, so the same (profile, strategy) pair is lowered
+#: to cBPF hundreds of times per suite.  Keyed by profile identity with
+#: a strong reference to the profile so the id cannot be recycled.
+_PROGRAM_MEMO: Dict[tuple, tuple] = {}
+_PROGRAM_MEMO_LIMIT = 256
+
+
+def _programs_for(profile: SeccompProfile, compiler: str):
+    key = (id(profile), compiler)
+    hit = _PROGRAM_MEMO.get(key)
+    if hit is not None and hit[0] is profile:
+        return hit[1]
     programs = compile_profile_chunked(profile, strategy=compiler)
+    if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_LIMIT:
+        _PROGRAM_MEMO.clear()
+    _PROGRAM_MEMO[key] = (profile, programs)
+    return programs
+
+
+def _attach(
+    profile: SeccompProfile,
+    times: int,
+    compiler: str,
+    fastpath: Optional[bool] = None,
+) -> SeccompKernelModule:
+    module = SeccompKernelModule(compile_filters=fastpath)
+    programs = _programs_for(profile, compiler)
     for index in range(times):
         for chunk, program in enumerate(programs):
             module.attach(program, name=f"{profile.name}#{index}.{chunk}")
@@ -84,14 +107,24 @@ class SeccompRegime(CheckingRegime):
         use_jit: bool = True,
         costs: SoftwareCostParams = DEFAULT_SW_COSTS,
         name: Optional[str] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.name = name or f"seccomp:{profile.name}" + ("" if times == 1 else f"x{times}")
         self.profile = profile
         self.costs = costs
         self.use_jit = use_jit
-        self.module = _attach(profile, times, compiler)
+        self.module = _attach(profile, times, compiler, fastpath=fastpath)
+        # Outcomes are pure functions of the module's decision, which is
+        # itself keyed on the masked argument bytes — memoize the whole
+        # CheckOutcome so repeat syscalls are a single dict probe.
+        self._outcome_memo: Dict[object, CheckOutcome] = {}
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
+        key = self.module.memo_key(event)
+        if key is not None:
+            cached = self._outcome_memo.get(key)
+            if cached is not None:
+                return cached
         decision = self.module.check(event)
         per_insn = (
             self.costs.cycles_per_bpf_insn_jit
@@ -103,12 +136,15 @@ class SeccompRegime(CheckingRegime):
             + self.costs.seccomp_fixed_cycles
             + decision.instructions_executed * per_insn
         )
-        return CheckOutcome(
+        outcome = CheckOutcome(
             allowed=decision.allowed,
             cycles=cycles,
             path="filter_run" if decision.allowed else "denied",
             action=decision.return_value,
         )
+        if key is not None:
+            self._outcome_memo[key] = outcome
+        return outcome
 
 
 class DracoSwRegime(CheckingRegime):
@@ -122,12 +158,16 @@ class DracoSwRegime(CheckingRegime):
         use_jit: bool = True,
         costs: SoftwareCostParams = DEFAULT_SW_COSTS,
         name: Optional[str] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.name = name or f"draco-sw:{profile.name}" + ("" if times == 1 else f"x{times}")
         self.profile = profile
         tables = build_process_tables(profile, table=profile.table)
         self.draco = SoftwareDraco(
-            tables, _attach(profile, times, compiler), costs=costs, use_jit=use_jit
+            tables,
+            _attach(profile, times, compiler, fastpath=fastpath),
+            costs=costs,
+            use_jit=use_jit,
         )
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
@@ -153,6 +193,7 @@ class DracoHwRegime(CheckingRegime):
         preload_enabled: bool = True,
         context_switch_interval_cycles: Optional[float] = 4_000_000.0,
         name: Optional[str] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.name = name or f"draco-hw:{profile.name}" + ("" if times == 1 else f"x{times}")
         self.profile = profile
@@ -160,7 +201,7 @@ class DracoHwRegime(CheckingRegime):
         self.hierarchy = MemoryHierarchy(processor)
         self.draco = HardwareDraco(
             tables,
-            _attach(profile, times, compiler),
+            _attach(profile, times, compiler, fastpath=fastpath),
             processor=processor,
             hw=hw,
             costs=costs,

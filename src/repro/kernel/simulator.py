@@ -20,12 +20,12 @@ the paper's methodology of warming architectural state before measuring
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, Optional, Union
 
 from repro.common import telemetry
 from repro.common.errors import SimulationError
 from repro.kernel.regimes import CheckingRegime
-from repro.syscalls.events import SyscallTrace
+from repro.syscalls.events import SyscallEvent, SyscallTrace
 
 
 @dataclass(frozen=True)
@@ -47,46 +47,76 @@ class RunResult:
 
 
 def run_trace(
-    trace: SyscallTrace,
+    trace: Union[SyscallTrace, Iterable[SyscallEvent]],
     regime: CheckingRegime,
     work_cycles_per_syscall: float,
     syscall_base_cycles: float,
     workload_name: str = "",
     warmup_fraction: float = 0.4,
     strict: bool = True,
+    events_total: Optional[int] = None,
 ) -> RunResult:
-    """Execute *trace* under *regime* and compute normalised time."""
+    """Execute *trace* under *regime* and compute normalised time.
+
+    *trace* may be any iterable of events — a materialized
+    :class:`SyscallTrace` or a streaming generator such as
+    :meth:`repro.workloads.generator.TraceGenerator.iter_events`.  For
+    iterables without a length, pass ``events_total`` so the warm-up
+    window can be sized up front.
+    """
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must be within [0, 1)")
-    n = len(trace)
-    if n == 0:
+    n = events_total if events_total is not None else len(trace)
+    if n <= 0:
         raise SimulationError("empty trace")
     warmup = int(n * warmup_fraction)
 
+    # The per-event loop is the simulator's hottest code: bound methods
+    # are hoisted and the warm-up window is split into its own loop so
+    # the measured loop carries no per-event index comparison.
+    check = regime.check
+    advance = regime.advance
+    events = iter(trace)
     total_check = 0.0
+    warmed = 0
     measured = 0
     paths: Dict[str, int] = {}
-    for index, event in enumerate(trace):
-        outcome = regime.check(event)
+    if warmup:
+        for event in events:
+            outcome = check(event)
+            if strict and not outcome.allowed:
+                raise SimulationError(
+                    f"{regime.name} denied {event.sid} {event.args} — the profile "
+                    "does not cover the workload (coverage bug)"
+                )
+            advance(work_cycles_per_syscall)
+            warmed += 1
+            if warmed >= warmup:
+                break
+    for event in events:
+        outcome = check(event)
         if strict and not outcome.allowed:
             raise SimulationError(
                 f"{regime.name} denied {event.sid} {event.args} — the profile "
                 "does not cover the workload (coverage bug)"
             )
-        regime.advance(work_cycles_per_syscall)
-        if index >= warmup:
-            total_check += outcome.cycles
-            measured += 1
-            paths[outcome.path] = paths.get(outcome.path, 0) + 1
+        advance(work_cycles_per_syscall)
+        total_check += outcome.cycles
+        measured += 1
+        path = outcome.path
+        paths[path] = paths.get(path, 0) + 1
 
     mean_check = total_check / measured if measured else 0.0
     baseline = work_cycles_per_syscall + syscall_base_cycles
     normalized = (baseline + mean_check) / baseline
+    # Both counters cover the measured window (warm-up events previously
+    # inflated `events` while being excluded from `total_cycles`).
     telemetry.record_simulation(
         regime=regime.name,
-        events=n,
+        events=measured,
         check_cycles=total_check,
         total_cycles=measured * baseline + total_check,
+        warmup_events=warmed,
     )
     return RunResult(
         workload=workload_name,

@@ -6,6 +6,22 @@ every syscall runs *all* attached filters, keeping the most restrictive
 result).  The engine also accounts for executed BPF instructions, which
 the OS cost model converts into cycles.
 
+Two simulation fast paths ride on the statelessness property Draco's
+caching relies on (Section V):
+
+* attached programs are **compiled once** into specialized closures
+  (:mod:`repro.bpf.compile`), so repeated executions skip instruction
+  decode and ``seccomp_data`` packing;
+* decisions are **memoized** keyed by the SID plus the masked argument
+  bytes the attached filters can actually observe (the union of their
+  statically-derived ``seccomp_data`` reads — the simulator analogue of
+  the paper's VAT keyed on Selector-masked bytes).  Events that agree on
+  every observable word are guaranteed the same decision, so keying on
+  the mask is exact; in particular a filter that inspects the
+  instruction pointer or architecture words gets those folded into the
+  key rather than silently aliased (the old ``(sid, args)`` key ignored
+  them).
+
 The paper's ``syscall-complete-2x`` configuration — "running the
 syscall-complete profile twice in a row" (Section IV-A) — is expressed
 here by attaching the same program twice.
@@ -14,8 +30,16 @@ here by attaching the same program twice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.bpf.compile import (
+    CompiledFilter,
+    build_key_fn,
+    compile_program,
+    event_words,
+    fastpath_enabled,
+    read_word_indices,
+)
 from repro.bpf.insn import Insn
 from repro.bpf.interpreter import run
 from repro.bpf.seccomp_data import SeccompData
@@ -51,19 +75,20 @@ class SeccompDecision:
 class AttachedFilter:
     name: str
     program: Tuple[Insn, ...]
+    compiled: Optional[CompiledFilter] = None
 
 
 class SeccompKernelModule:
     """Per-process stack of attached seccomp filters."""
 
-    def __init__(self, memoize: bool = True) -> None:
+    def __init__(
+        self, memoize: bool = True, compile_filters: Optional[bool] = None
+    ) -> None:
         self._filters: List[AttachedFilter] = []
-        # Filters are pure functions of (sid, args) over immutable
-        # programs, so decisions can be memoised; this is a simulation
-        # speed-up with identical semantics (the same statelessness
-        # property Draco's caching relies on, Section V).
         self._memoize = memoize
-        self._memo: Dict[Tuple[int, Tuple[int, ...]], SeccompDecision] = {}
+        self._compile = fastpath_enabled() if compile_filters is None else compile_filters
+        self._memo: Dict[Any, SeccompDecision] = {}
+        self._key_fn: Optional[Callable[[SyscallEvent], Any]] = None
 
     @property
     def filters(self) -> Tuple[AttachedFilter, ...]:
@@ -74,6 +99,10 @@ class SeccompKernelModule:
         return bool(self._filters)
 
     @property
+    def compiles_filters(self) -> bool:
+        return self._compile
+
+    @property
     def total_instructions(self) -> int:
         """Static size of all attached programs."""
         return sum(len(f.program) for f in self._filters)
@@ -81,39 +110,71 @@ class SeccompKernelModule:
     def attach(self, program: Sequence[Insn], name: str = "") -> None:
         """Verify and attach a filter; attached filters are permanent."""
         program = tuple(program)
-        verify(program)
-        self._filters.append(AttachedFilter(name=name, program=program))
+        if self._compile:
+            compiled: Optional[CompiledFilter] = compile_program(program)
+        else:
+            verify(program)
+            compiled = None
+        self._filters.append(
+            AttachedFilter(name=name, program=program, compiled=compiled)
+        )
+        # A new filter may observe words earlier ones did not: rebuild
+        # the memo key over the union and drop now-stale decisions.
+        observed = frozenset().union(
+            *(read_word_indices(f.program) for f in self._filters)
+        )
+        self._key_fn = build_key_fn(observed)
         self._memo.clear()
+
+    def memo_key(self, event: SyscallEvent) -> Optional[Any]:
+        """The masked-argument-bytes memo key for *event* (None when
+        memoization is off or nothing is attached).  Regimes reuse this
+        key to memoize their own per-decision outcomes."""
+        if not self._memoize or self._key_fn is None:
+            return None
+        return self._key_fn(event)
 
     def check(self, event: SyscallEvent) -> SeccompDecision:
         """Run every attached filter on *event*, kernel-style."""
-        if not self._filters:
+        filters = self._filters
+        if not filters:
             return SeccompDecision(
                 return_value=SECCOMP_RET_ALLOW, instructions_executed=0, filters_run=0
             )
-        memo_key = (event.sid, event.args)
-        if self._memoize:
+        memo_key = self._key_fn(event) if self._memoize else None
+        if memo_key is not None:
             cached = self._memo.get(memo_key)
             if cached is not None:
                 return cached
-        data = SeccompData.from_event(event)
         combined: Optional[int] = None
         executed = 0
-        for attached in self._filters:
-            result = run(attached.program, data)
-            executed += result.instructions_executed
-            combined = (
-                result.return_value
-                if combined is None
-                else most_restrictive(combined, result.return_value)
-            )
+        if self._compile:
+            words = event_words(event)
+            for attached in filters:
+                result = attached.compiled.run_words(words)
+                executed += result.instructions_executed
+                combined = (
+                    result.return_value
+                    if combined is None
+                    else most_restrictive(combined, result.return_value)
+                )
+        else:
+            data = SeccompData.from_event(event)
+            for attached in filters:
+                result = run(attached.program, data)
+                executed += result.instructions_executed
+                combined = (
+                    result.return_value
+                    if combined is None
+                    else most_restrictive(combined, result.return_value)
+                )
         if combined is None:  # pragma: no cover - guarded by the early return
             raise SimulationError("no filter produced a result")
         decision = SeccompDecision(
             return_value=combined,
             instructions_executed=executed,
-            filters_run=len(self._filters),
+            filters_run=len(filters),
         )
-        if self._memoize:
+        if memo_key is not None:
             self._memo[memo_key] = decision
         return decision

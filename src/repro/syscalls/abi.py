@@ -11,6 +11,7 @@ VIII) proposes an OS-programmable mapping table, which
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple
 
 from repro.common.errors import ConfigError
@@ -103,6 +104,7 @@ def argument_bitmask(nargs: int, arg_bytes: Sequence[int] = ()) -> int:
     return mask
 
 
+@lru_cache(maxsize=4096)
 def bitmask_arg_count(mask: int) -> int:
     """Recover the argument count from an Argument Bitmask.
 

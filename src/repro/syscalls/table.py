@@ -49,11 +49,17 @@ class SyscallDef:
             raise ValueError(f"{self.name}: nargs out of range: {self.nargs}")
         if self.pointer_mask >> self.nargs:
             raise ValueError(f"{self.name}: pointer mask wider than nargs")
+        # Precomputed once: this is read on every simulated syscall.
+        object.__setattr__(
+            self,
+            "_checkable_args",
+            tuple(i for i in range(self.nargs) if not self.pointer_mask >> i & 1),
+        )
 
     @property
     def checkable_args(self) -> Tuple[int, ...]:
         """Indices of arguments that Seccomp/Draco may check (non-pointers)."""
-        return tuple(i for i in range(self.nargs) if not self.pointer_mask >> i & 1)
+        return self._checkable_args
 
     @property
     def num_checkable_args(self) -> int:

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.common.rng import DEFAULT_SEED, make_rng
-from repro.syscalls.events import SyscallTrace, make_event
+from repro.syscalls.events import SyscallEvent, SyscallTrace, make_event
 from repro.workloads.model import ArgSetSpec, SyscallSpec, WorkloadSpec
 
 #: Synthetic text segment base for generated call-site PCs.
@@ -51,6 +51,8 @@ class TraceGenerator:
         self._rng = make_rng(seed, f"trace:{workload.name}")
         self._samplers: List[_SyscallSampler] = []
         self._weights: List[float] = []
+        #: (sampler, arg set, site) -> reusable frozen event instance.
+        self._event_cache: Dict[Tuple[int, int, int], SyscallEvent] = {}
         for spec in workload.syscalls:
             pcs = tuple(
                 callsite_pc(workload.name, spec.name, i) for i in range(spec.callsites)
@@ -77,32 +79,45 @@ class TraceGenerator:
 
     def events(self, count: int) -> SyscallTrace:
         """Generate *count* syscall events."""
+        return SyscallTrace(self.iter_events(count))
+
+    def iter_events(self, count: int) -> Iterator[SyscallEvent]:
+        """Stream *count* syscall events lazily.
+
+        Yields the same event sequence :meth:`events` materializes (the
+        RNG draw order is identical), so regimes can consume a trace as
+        it is produced without holding the whole list.  Events are
+        frozen dataclasses, so each distinct (syscall, argument set,
+        call site) combination is built once and the instance reused —
+        event construction dominated generation time before.
+        """
         rng = self._rng
         samplers = self._samplers
-        weights = self._weights
-        trace = SyscallTrace()
-        chosen = rng.choices(range(len(samplers)), weights=weights, k=count)
+        event_cache: Dict[Tuple[int, int, int], SyscallEvent] = self._event_cache
+        chosen = rng.choices(range(len(samplers)), weights=self._weights, k=count)
         for sampler_index in chosen:
             sampler = samplers[sampler_index]
             spec = sampler.spec
             site = rng.randrange(spec.callsites) if spec.callsites > 1 else 0
             if len(sampler.arg_sets) == 1:
-                arg_set = sampler.arg_sets[0]
+                set_index = 0
             elif rng.random() < spec.stickiness:
-                arg_set = sampler.arg_sets[sampler.preferred[site]]
+                set_index = sampler.preferred[site]
             else:
-                arg_set = rng.choices(
-                    sampler.arg_sets, weights=sampler.arg_weights, k=1
+                set_index = rng.choices(
+                    range(len(sampler.arg_sets)), weights=sampler.arg_weights, k=1
                 )[0]
-            trace.append(
-                make_event(
+            cache_key = (sampler_index, set_index, site)
+            event = event_cache.get(cache_key)
+            if event is None:
+                event = make_event(
                     spec.name,
-                    arg_set.values,
+                    sampler.arg_sets[set_index].values,
                     pc=sampler.pcs[site],
                     table=self.workload.table,
                 )
-            )
-        return trace
+                event_cache[cache_key] = event
+            yield event
 
 
 def generate_trace(

@@ -16,13 +16,27 @@ from repro.hashing.crc import (
 
 class TestKnownValues:
     def test_ecma_check_value(self):
-        """CRC-64/XZ (ECMA poly, reflected=no here; we pin our own
-        stable reference value for regression)."""
-        assert CRC64_ECMA(b"123456789") == CRC64_ECMA(b"123456789")
+        """CRC-64/ECMA-182 (init=0, xorout=0, MSB-first): the standard
+        check value over the ASCII digits.  An earlier revision used
+        all-ones init/xorout, which is CRC-64/WE (check value
+        0x62EC59E3F1A4F00A) — not the code the paper cites."""
+        assert CRC64_ECMA(b"123456789") == 0x6C40DF5F0B497347
+
+    def test_not_ecma_check_value(self):
+        """H2 has no published name; its value is pinned so any framing
+        regression (init/xorout drift) fails loudly."""
+        assert CRC64_NOT_ECMA(b"123456789") == 0x90C9B50E1728F165
+
+    def test_we_framing_rejected(self):
+        """The WE-framed variant must disagree with the ECMA-182 one."""
+        we = Crc64(ECMA_POLY, init=2**64 - 1, xorout=2**64 - 1)
+        assert we(b"123456789") == 0x62EC59E3F1A4F00A
+        assert we(b"123456789") != CRC64_ECMA(b"123456789")
 
     def test_empty_input(self):
         # init ^ xorout for empty data
         assert CRC64_ECMA(b"") == 0
+        assert CRC64_NOT_ECMA(b"") == 0
 
     def test_polynomials(self):
         assert ECMA_POLY == 0x42F0E1EBA9EA3693

@@ -144,3 +144,98 @@ class TestProperties:
         for i, key in enumerate(keys):
             _insert_with_eviction(table, key, i)
         assert table.load_factor == pytest.approx(len(table) / table.num_slots)
+
+
+class TestInvariants:
+    """Structural invariants under the failure/fallback paths."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=32))
+    def test_occupancy_conserved_on_drop(self, keys):
+        """When an insert exhausts its kicks, the new key is in and one
+        resident is dropped — occupancy must not drift, and __len__ must
+        equal the number of occupied slots."""
+        table = CuckooTable(4, max_kicks=3)
+        for i, key in enumerate(keys):
+            before = len(table)
+            known = key in table
+            try:
+                table.insert(key, i)
+                if known:
+                    assert len(table) == before
+                else:
+                    assert len(table) == before + 1
+            except CuckooInsertError as error:
+                # one in, one out: net zero.  The dropped entry may be
+                # the new key itself when its cuckoo cycle kicks it back
+                # out — dropped_key reports exactly which one survived.
+                assert len(table) == before
+                assert error.dropped_key not in table or error.dropped_key == key
+                assert key in table or error.dropped_key == key
+            assert len(table) == sum(
+                1 for s in range(table.num_slots) if table.slot_at(s) is not None
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=24))
+    def test_which_hash_agrees_with_index_for(self, keys):
+        """Every occupied slot's recorded hash maps its key back to the
+        slot it occupies."""
+        table = CuckooTable(8, max_kicks=4)
+        for i, key in enumerate(keys):
+            try:
+                table.insert(key, i)
+            except CuckooInsertError:
+                pass
+            for index in range(table.num_slots):
+                slot = table.slot_at(index)
+                if slot is not None:
+                    assert table.index_for(slot.key, slot.which_hash) == index
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=24),
+        st.lists(st.integers(0, 2), min_size=1, max_size=12),
+    )
+    def test_force_place_and_evict_any_len_consistent(self, keys, ops):
+        """force_place and evict_any keep __len__ equal to the actual
+        occupied-slot count through arbitrary interleavings."""
+        table = CuckooTable(6, max_kicks=2)
+        pending = list(keys)
+
+        def occupied():
+            return sum(
+                1 for s in range(table.num_slots) if table.slot_at(s) is not None
+            )
+
+        for op in ops:
+            if op == 0 and pending:
+                table.force_place(pending.pop(), "forced")
+            elif op == 1 and pending:
+                key = pending.pop()
+                try:
+                    table.insert(key, "inserted")
+                except CuckooInsertError:
+                    pass
+            else:
+                before = len(table)
+                evicted = table.evict_any()
+                if evicted is None:
+                    assert before == 0
+                else:
+                    assert len(table) == before - 1
+                    assert evicted not in table
+            assert len(table) == occupied()
+
+    def test_force_place_on_occupied_slot_replaces(self):
+        table = CuckooTable(4)
+        table.force_place(b"a", 1)
+        # Find a key whose H1 slot collides with b"a"'s.
+        target = table.index_for(b"a", 0)
+        for byte in range(1, 256):
+            key = bytes([byte])
+            if key != b"a" and table.index_for(key, 0) == target:
+                table.force_place(key, 2)
+                assert len(table) == 1
+                assert key in table
+                break
