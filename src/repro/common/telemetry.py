@@ -42,9 +42,36 @@ class SimulationCounters:
     #: Per-regime totals over the measured (post-warm-up) window.
     regime_cycles: Dict[str, float] = field(default_factory=dict)
     regime_events: Dict[str, int] = field(default_factory=dict)
+    #: Per-regime checking cycles (the per-flow ledger's conservation
+    #: reference) and per-(regime, flow) event/cycle buckets.
+    regime_check_cycles: Dict[str, float] = field(default_factory=dict)
+    regime_flow_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    regime_flow_cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-regime structure counters (SLB/STB/VAT/SPT hit/miss/evict,
+    #: seccomp execution totals), numeric scalars only.
+    regime_structures: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        flows: Dict[str, Any] = {}
+        for regime in sorted(self.regime_flow_counts):
+            counts = self.regime_flow_counts[regime]
+            cycles = self.regime_flow_cycles.get(regime, {})
+            flows[regime] = {
+                "events": sum(counts.values()),
+                "check_cycles": round(self.regime_check_cycles.get(regime, 0.0), 3),
+                "counts": dict(sorted(counts.items())),
+                "cycles": {k: round(v, 3) for k, v in sorted(cycles.items())},
+            }
+        structures = {
+            regime: {
+                name: {k: round(v, 3) for k, v in sorted(counters.items())}
+                for name, counters in sorted(per_structure.items())
+            }
+            for regime, per_structure in sorted(self.regime_structures.items())
+        }
+        payload = {
             "traces_run": self.traces_run,
             "events_simulated": self.events_simulated,
             "warmup_events": self.warmup_events,
@@ -53,9 +80,31 @@ class SimulationCounters:
             "regime_cycles": {k: round(v, 3) for k, v in sorted(self.regime_cycles.items())},
             "regime_events": dict(sorted(self.regime_events.items())),
         }
+        if flows:
+            payload["flows"] = flows
+        if structures:
+            payload["structures"] = structures
+        return payload
 
 
 _COUNTERS = SimulationCounters()
+
+
+def _merge_structures(
+    target: Dict[str, Dict[str, float]], source: Mapping[str, Any]
+) -> None:
+    """Accumulate numeric structure counters; rates and timelines are
+    derived quantities and are dropped (recompute them from the sums)."""
+    for name, counters in source.items():
+        if not isinstance(counters, Mapping):
+            continue
+        bucket = target.setdefault(name, {})
+        for key, value in counters.items():
+            if key.endswith("_rate") or key == "hit_rate":
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            bucket[key] = bucket.get(key, 0) + value
 
 
 def record_simulation(
@@ -64,11 +113,17 @@ def record_simulation(
     check_cycles: float,
     total_cycles: float,
     warmup_events: int = 0,
+    flow_counts: Optional[Mapping[str, int]] = None,
+    flow_cycles: Optional[Mapping[str, float]] = None,
+    structures: Optional[Mapping[str, Any]] = None,
 ) -> None:
     """Account one simulated trace (called by the kernel simulator).
 
     ``events`` and the cycle totals all cover the measured window;
     warm-up events are reported separately via ``warmup_events``.
+    ``flow_counts``/``flow_cycles`` are the trace's per-flow ledger and
+    ``structures`` its per-structure counters; all three are optional so
+    external callers of the simulator stay source-compatible.
     """
     _COUNTERS.traces_run += 1
     _COUNTERS.events_simulated += events
@@ -77,6 +132,21 @@ def record_simulation(
     _COUNTERS.total_cycles += total_cycles
     _COUNTERS.regime_cycles[regime] = _COUNTERS.regime_cycles.get(regime, 0.0) + total_cycles
     _COUNTERS.regime_events[regime] = _COUNTERS.regime_events.get(regime, 0) + events
+    _COUNTERS.regime_check_cycles[regime] = (
+        _COUNTERS.regime_check_cycles.get(regime, 0.0) + check_cycles
+    )
+    if flow_counts:
+        bucket = _COUNTERS.regime_flow_counts.setdefault(regime, {})
+        for flow, count in flow_counts.items():
+            bucket[flow] = bucket.get(flow, 0) + count
+    if flow_cycles:
+        bucket_cycles = _COUNTERS.regime_flow_cycles.setdefault(regime, {})
+        for flow, cycles in flow_cycles.items():
+            bucket_cycles[flow] = bucket_cycles.get(flow, 0.0) + cycles
+    if structures:
+        _merge_structures(
+            _COUNTERS.regime_structures.setdefault(regime, {}), structures
+        )
 
 
 def reset_counters() -> None:
@@ -174,6 +244,68 @@ class RunReport:
                 totals[regime] = totals.get(regime, 0.0) + cycles
         return totals
 
+    def flows(self) -> Dict[str, Dict[str, Any]]:
+        """Per-regime flow ledger aggregated across every record.
+
+        Returns ``{regime: {"events", "check_cycles", "counts", "cycles"}}``
+        with counts summed exactly and cycles summed from the per-record
+        JSON (which rounds to 3 decimals — see
+        :meth:`audit_flow_conservation` for the matching tolerance).
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        for record in self.records:
+            for regime, block in record.simulation.get("flows", {}).items():
+                into = merged.setdefault(
+                    regime,
+                    {"events": 0, "check_cycles": 0.0, "counts": {}, "cycles": {}},
+                )
+                into["events"] += block.get("events", 0)
+                into["check_cycles"] += block.get("check_cycles", 0.0)
+                for flow, count in block.get("counts", {}).items():
+                    into["counts"][flow] = into["counts"].get(flow, 0) + count
+                for flow, cycles in block.get("cycles", {}).items():
+                    into["cycles"][flow] = into["cycles"].get(flow, 0.0) + cycles
+        return {regime: merged[regime] for regime in sorted(merged)}
+
+    def structures(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-regime structure counters aggregated across every record."""
+        merged: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for record in self.records:
+            for regime, per_structure in record.simulation.get("structures", {}).items():
+                _merge_structures(merged.setdefault(regime, {}), per_structure)
+        return {regime: merged[regime] for regime in sorted(merged)}
+
+    def audit_flow_conservation(self) -> List[str]:
+        """Cross-check every regime's aggregated flow ledger.
+
+        Flow counts must sum exactly to the regime's event total; flow
+        cycles must sum to its checking-cycle total within the rounding
+        noise the JSON encoding introduces (3 decimals per bucket per
+        record).  Returns a list of human-readable drift descriptions —
+        empty means the ledger conserves.
+        """
+        problems: List[str] = []
+        traces = max(sum(r.simulation.get("traces_run", 0) for r in self.records), 1)
+        # Each (record, flow) bucket contributes up to 5e-4 of rounding
+        # error on each side of the comparison.
+        tolerance = 1e-3 * traces * 16 + 1e-6
+        for regime, block in self.flows().items():
+            events = block["events"]
+            counted = sum(block["counts"].values())
+            if counted != events:
+                problems.append(
+                    f"{regime}: flow counts sum to {counted} but "
+                    f"{events} events were measured"
+                )
+            want = block["check_cycles"]
+            got = sum(block["cycles"][flow] for flow in sorted(block["cycles"]))
+            if abs(want - got) > tolerance:
+                problems.append(
+                    f"{regime}: flow cycles sum to {got:.3f} but "
+                    f"check_cycles={want:.3f} (tolerance {tolerance:.3f})"
+                )
+        return problems
+
     # -- serialisation -------------------------------------------------
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -252,6 +384,60 @@ class RunReport:
         when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.started_at))
         lines.append(f"started: {when}  code: {self.code_fingerprint or '?'}")
         for record in self.failures:
-            first_line = record.error.strip().splitlines()[-1] if record.error else "?"
-            lines.append(f"FAILED {record.experiment_id}: {first_line}")
+            # The last line of a captured traceback is the exception
+            # itself — the one-line cause — so surface that, truncated.
+            last_line = record.error.strip().splitlines()[-1] if record.error else "?"
+            if len(last_line) > 160:
+                last_line = last_line[:157] + "..."
+            lines.append(f"FAILED {record.experiment_id}: {last_line}")
+        return "\n".join(lines)
+
+    def format_flows(self) -> str:
+        """Per-regime flow table (the ``summary --flows`` rendering)."""
+        flows = self.flows()
+        if not flows:
+            return "== flows\n(no flow telemetry recorded — run with REPRO_LEDGER=1)"
+        header = ("regime", "flow", "events", "share", "cycles", "cyc/event")
+        rows = [header]
+        for regime, block in flows.items():
+            events = block["events"] or 1
+            for flow in sorted(block["counts"]):
+                count = block["counts"][flow]
+                cycles = block["cycles"].get(flow, 0.0)
+                rows.append(
+                    (
+                        regime,
+                        flow,
+                        str(count),
+                        f"{count / events:.1%}",
+                        f"{cycles:.0f}",
+                        f"{cycles / count:.2f}" if count else "-",
+                    )
+                )
+            rows.append(
+                (
+                    regime,
+                    "total",
+                    str(block["events"]),
+                    "100.0%",
+                    f"{block['check_cycles']:.0f}",
+                    (
+                        f"{block['check_cycles'] / block['events']:.2f}"
+                        if block["events"]
+                        else "-"
+                    ),
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["== flows (measured window, per regime)"]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if index == 0:
+                lines.append("-" * len(lines[-1]))
+        problems = self.audit_flow_conservation()
+        if problems:
+            lines.append("CONSERVATION DRIFT:")
+            lines.extend(f"  {p}" for p in problems)
+        else:
+            lines.append("conservation: ok (counts == events; cycles sum to totals)")
         return "\n".join(lines)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.common import ledger
+
 
 class Flow(enum.Enum):
     """Table I rows, plus the two paths outside its lattice."""
@@ -27,6 +29,23 @@ class Flow(enum.Enum):
     @property
     def is_fast(self) -> bool:
         return self in (Flow.FLOW_1, Flow.FLOW_3, Flow.FLOW_5, Flow.SPT_ONLY)
+
+    @property
+    def ledger_key(self) -> str:
+        """Canonical cycle-accounting key (``repro.common.ledger``)."""
+        return _LEDGER_KEYS[self]
+
+
+_LEDGER_KEYS = {
+    Flow.FLOW_1: ledger.FLOW_HW_1,
+    Flow.FLOW_2: ledger.FLOW_HW_2,
+    Flow.FLOW_3: ledger.FLOW_HW_3,
+    Flow.FLOW_4: ledger.FLOW_HW_4,
+    Flow.FLOW_5: ledger.FLOW_HW_5,
+    Flow.FLOW_6: ledger.FLOW_HW_6,
+    Flow.SPT_ONLY: ledger.FLOW_HW_SPT_ONLY,
+    Flow.OS_CHECK: ledger.FLOW_HW_OS_CHECK,
+}
 
 
 def classify(

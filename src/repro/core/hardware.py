@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.common import ledger as common_ledger
 from repro.core.flows import Flow, classify
 from repro.core.slb import HashId, Slb
 from repro.core.software import ProcessTables
@@ -68,12 +69,18 @@ class HwCheckResult:
 @dataclass
 class HardwareDracoStats:
     flows: Dict[Flow, int] = field(default_factory=dict)
+    #: Per-flow stall-cycle totals, keeping the same buckets as ``flows``
+    #: so the simulator-side ledger can be cross-checked against them.
+    flow_cycles: Dict[Flow, float] = field(default_factory=dict)
     os_invocations: int = 0
     total_stall_cycles: float = 0.0
     syscalls: int = 0
 
     def record(self, result: HwCheckResult) -> None:
         self.flows[result.flow] = self.flows.get(result.flow, 0) + 1
+        self.flow_cycles[result.flow] = (
+            self.flow_cycles.get(result.flow, 0.0) + result.stall_cycles
+        )
         if result.os_invoked:
             self.os_invocations += 1
         self.total_stall_cycles += result.stall_cycles
@@ -82,6 +89,13 @@ class HardwareDracoStats:
     @property
     def mean_stall_cycles(self) -> float:
         return self.total_stall_cycles / self.syscalls if self.syscalls else 0.0
+
+    def ledger(self) -> common_ledger.FlowLedger:
+        """The stats as a flow ledger, keyed by the canonical taxonomy."""
+        return common_ledger.FlowLedger(
+            counts={flow.ledger_key: count for flow, count in self.flows.items()},
+            cycles={flow.ledger_key: c for flow, c in self.flow_cycles.items()},
+        )
 
 
 class HardwareDraco:
@@ -335,6 +349,16 @@ class HardwareDraco:
             preload_hit=preload_hit,
             access_hit=False,
         )
+
+    def structure_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-structure hit/miss/evict/preload counters (Figure 13's
+        raw material), one block per hardware structure."""
+        return {
+            "slb": self.slb.structure_stats(),
+            "stb": self.stb.structure_stats(),
+            "vat": self.tables.vat.structure_stats(),
+            "spt": {"hits": self.spt.hits, "misses": self.spt.misses},
+        }
 
     def _maybe_update_stb(
         self,

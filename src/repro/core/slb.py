@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import ledger
 from repro.common.errors import ConfigError
 from repro.cpu.params import DracoHwParams, SlbSubtableParams
 
@@ -51,6 +52,7 @@ class SlbSubtable:
         self.num_sets = params.entries // params.ways
         self._sets: List[List[SlbEntry]] = [[] for _ in range(self.num_sets)]
         self._clock = 0
+        self.evictions = 0
 
     def _index(self, sid: int, hash_value: int) -> int:
         return (sid ^ hash_value) % self.num_sets
@@ -89,10 +91,19 @@ class SlbSubtable:
         """Install an entry in the set its fetching hash selects,
         evicting that set's LRU entry if full.  When the full hash pair
         is known, an existing copy under the *other* hash is updated in
-        place instead of creating a duplicate."""
+        place instead of creating a duplicate.
+
+        The candidate sets are probed in a fixed order — the fetching
+        hash first, then the remaining pair hash(es) — so eviction and
+        update traces are deterministic rather than dependent on the
+        hash values' ordering within a set.
+        """
         self._clock += 1
-        candidates = set(hash_pair) if hash_pair else {hash_id[1]}
-        candidates.add(hash_id[1])
+        candidates = [hash_id[1]]
+        if hash_pair is not None:
+            for value in hash_pair:
+                if value not in candidates:
+                    candidates.append(value)
         for value in candidates:
             for entry in self._sets[self._index(sid, value)]:
                 if entry.sid == sid and entry.args == args:
@@ -103,6 +114,7 @@ class SlbSubtable:
         if len(entries) >= self.params.ways:
             lru = min(range(len(entries)), key=lambda i: entries[i].last_used)
             entries.pop(lru)
+            self.evictions += 1
         entries.append(SlbEntry(sid=sid, hash_id=hash_id, args=args, last_used=self._clock))
 
     def invalidate_all(self) -> None:
@@ -125,6 +137,11 @@ class Slb:
         self.access_misses = 0
         self.preload_hits = 0
         self.preload_misses = 0
+        #: Windowed hit-rate timelines (ledger observability layer);
+        #: recording is skipped entirely when the ledger is disabled.
+        self._timelines_on = ledger.enabled()
+        self.access_timeline = ledger.WindowedCounter()
+        self.preload_timeline = ledger.WindowedCounter()
 
     def subtable(self, arg_count: int) -> SlbSubtable:
         try:
@@ -144,6 +161,8 @@ class Slb:
             self.access_hits += 1
         else:
             self.access_misses += 1
+        if self._timelines_on:
+            self.access_timeline.record(entry is not None)
         return entry
 
     def preload_probe(self, sid: int, arg_count: int, hash_id: HashId) -> bool:
@@ -152,6 +171,8 @@ class Slb:
             self.preload_hits += 1
         else:
             self.preload_misses += 1
+        if self._timelines_on:
+            self.preload_timeline.record(hit)
         return hit
 
     def fill(
@@ -178,6 +199,28 @@ class Slb:
         total = self.preload_hits + self.preload_misses
         return self.preload_hits / total if total else 0.0
 
+    @property
+    def evictions(self) -> int:
+        return sum(sub.evictions for sub in self._subtables.values())
+
+    def structure_stats(self) -> Dict[str, object]:
+        """Hit/miss/evict/preload counters plus windowed timelines."""
+        return {
+            "access_hits": self.access_hits,
+            "access_misses": self.access_misses,
+            "access_hit_rate": round(self.access_hit_rate, 6),
+            "preload_hits": self.preload_hits,
+            "preload_misses": self.preload_misses,
+            "preload_hit_rate": round(self.preload_hit_rate, 6),
+            "evictions": self.evictions,
+            "access_timeline": self.access_timeline.as_dict()["timeline"],
+            "preload_timeline": self.preload_timeline.as_dict()["timeline"],
+        }
+
     def reset_stats(self) -> None:
         self.access_hits = self.access_misses = 0
         self.preload_hits = self.preload_misses = 0
+        for subtable in self._subtables.values():
+            subtable.evictions = 0
+        self.access_timeline.reset()
+        self.preload_timeline.reset()

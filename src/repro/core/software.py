@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.common import ledger
 from repro.core.spt import SoftwareSPT, SptEntry
 from repro.core.vat import VAT
 from repro.cpu.params import DEFAULT_SW_COSTS, SoftwareCostParams
@@ -84,6 +85,10 @@ class CheckOutcome:
     #: (SECCOMP_RET_ERRNO returns -1 to the caller; KILL terminates).
     #: None means "no filter result to report" (allowed fast paths).
     action: Optional[int] = None
+    #: Canonical ledger key (``repro.common.ledger.FLOW_KEYS``); empty
+    #: for outcomes produced before the accounting layer existed, in
+    #: which case consumers fall back to ``path``.
+    flow: str = ""
 
 
 @dataclass
@@ -92,6 +97,10 @@ class SoftwareDracoStats:
     vat_hits: int = 0
     filter_runs: int = 0
     denials: int = 0
+    spt_only_cycles: float = 0.0
+    vat_hit_cycles: float = 0.0
+    filter_run_cycles: float = 0.0
+    denial_cycles: float = 0.0
 
     @property
     def total(self) -> int:
@@ -101,6 +110,20 @@ class SoftwareDracoStats:
     def vat_hit_rate(self) -> float:
         checked = self.vat_hits + self.filter_runs
         return self.vat_hits / checked if checked else 0.0
+
+    def ledger(self) -> ledger.FlowLedger:
+        """The stats as a flow ledger, keyed by the canonical taxonomy."""
+        snapshot = ledger.FlowLedger()
+        for key, count, cycles in (
+            (ledger.FLOW_SW_SPT_ONLY, self.spt_only, self.spt_only_cycles),
+            (ledger.FLOW_SW_VAT_HIT, self.vat_hits, self.vat_hit_cycles),
+            (ledger.FLOW_SW_FILTER, self.filter_runs, self.filter_run_cycles),
+            (ledger.FLOW_SW_DENIED, self.denials, self.denial_cycles),
+        ):
+            if count:
+                snapshot.counts[key] = count
+                snapshot.cycles[key] = cycles
+        return snapshot
 
 
 class SoftwareDraco:
@@ -160,25 +183,33 @@ class SoftwareDraco:
                 decision.instructions_executed
             )
             self.stats.denials += 1
+            self.stats.denial_cycles += cycles
             return CheckOutcome(
                 allowed=decision.allowed,
                 cycles=cycles,
                 path="denied",
                 action=decision.return_value,
+                flow=ledger.FLOW_SW_DENIED,
             )
 
         if not entry.checks_arguments:
+            cycles = self.costs.sw_draco_spt_only_cycles
             self.stats.spt_only += 1
+            self.stats.spt_only_cycles += cycles
             return CheckOutcome(
-                allowed=True, cycles=self.costs.sw_draco_spt_only_cycles, path="spt_only"
+                allowed=True, cycles=cycles, path="spt_only",
+                flow=ledger.FLOW_SW_SPT_ONLY,
             )
 
         key = VAT.key_for(event.args, entry.arg_bitmask)
         probe = self.tables.vat.lookup(event.sid, key)
         if probe is not None and probe.hit:
+            cycles = self.costs.sw_draco_hit_cycles
             self.stats.vat_hits += 1
+            self.stats.vat_hit_cycles += cycles
             return CheckOutcome(
-                allowed=True, cycles=self.costs.sw_draco_hit_cycles, path="vat_hit"
+                allowed=True, cycles=cycles, path="vat_hit",
+                flow=ledger.FLOW_SW_VAT_HIT,
             )
 
         # VAT miss: execute the Seccomp filter, then cache the validation.
@@ -191,8 +222,14 @@ class SoftwareDraco:
             self.tables.vat.insert(event.sid, key, event.args)
             cycles += self.costs.sw_draco_insert_cycles
             self.stats.filter_runs += 1
-            return CheckOutcome(allowed=True, cycles=cycles, path="filter_run")
+            self.stats.filter_run_cycles += cycles
+            return CheckOutcome(
+                allowed=True, cycles=cycles, path="filter_run",
+                flow=ledger.FLOW_SW_FILTER,
+            )
         self.stats.denials += 1
+        self.stats.denial_cycles += cycles
         return CheckOutcome(
-            allowed=False, cycles=cycles, path="denied", action=decision.return_value
+            allowed=False, cycles=cycles, path="denied",
+            action=decision.return_value, flow=ledger.FLOW_SW_DENIED,
         )

@@ -13,8 +13,9 @@ II), LRU within a set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.common import ledger
 from repro.common.errors import ConfigError
 from repro.cpu.params import DracoHwParams
 
@@ -41,6 +42,9 @@ class Stb:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._timelines_on = ledger.enabled()
+        self.timeline = ledger.WindowedCounter()
 
     def _set_for(self, pc: int) -> List[StbEntry]:
         # Instructions are 4+ bytes apart; drop the low bits before
@@ -54,8 +58,12 @@ class Stb:
             if entry.pc == pc:
                 entry.last_used = self._clock
                 self.hits += 1
+                if self._timelines_on:
+                    self.timeline.record(True)
                 return entry
         self.misses += 1
+        if self._timelines_on:
+            self.timeline.record(False)
         return None
 
     def update(self, pc: int, sid: int, hash_id: HashId) -> None:
@@ -71,6 +79,7 @@ class Stb:
         if len(entries) >= self.params.stb_ways:
             lru = min(range(len(entries)), key=lambda i: entries[i].last_used)
             entries.pop(lru)
+            self.evictions += 1
         entries.append(StbEntry(pc=pc, sid=sid, hash_id=hash_id, last_used=self._clock))
 
     def invalidate_all(self) -> None:
@@ -85,6 +94,18 @@ class Stb:
     def occupancy(self) -> int:
         return sum(len(entries) for entries in self._sets)
 
+    def structure_stats(self) -> Dict[str, object]:
+        """Hit/miss/evict counters plus the windowed hit-rate timeline."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "evictions": self.evictions,
+            "timeline": self.timeline.as_dict()["timeline"],
+        }
+
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.timeline.reset()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.common import ledger
 from repro.common.errors import ConfigError, CuckooInsertError
 from repro.hashing.crc import CRC64_ECMA, CRC64_NOT_ECMA
 from repro.hashing.cuckoo import CuckooTable, LookupResult
@@ -110,6 +111,11 @@ class VAT:
     def __init__(self) -> None:
         self._tables: Dict[int, VatTable] = {}
         self._next_address = self.BASE_VADDR
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self._timelines_on = ledger.enabled()
+        self.timeline = ledger.WindowedCounter()
 
     # -- construction -----------------------------------------------------
 
@@ -153,13 +159,24 @@ class VAT:
     def lookup(self, sid: int, key: bytes) -> Optional[VatProbe]:
         table = self._tables.get(sid)
         if table is None:
+            self.misses += 1
+            if self._timelines_on:
+                self.timeline.record(False)
             return None
-        return table.lookup(key)
+        probe = table.lookup(key)
+        if probe.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self._timelines_on:
+            self.timeline.record(probe.hit)
+        return probe
 
     def insert(self, sid: int, key: bytes, args: Tuple[int, ...]) -> int:
         table = self._tables.get(sid)
         if table is None:
             table = self.ensure_table(sid, estimated_arg_sets=MIN_TABLE_SLOTS)
+        self.inserts += 1
         return table.insert(key, args)
 
     def clear_all(self) -> None:
@@ -188,3 +205,22 @@ class VAT:
     @property
     def total_evictions(self) -> int:
         return sum(table.evictions for table in self._tables.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def structure_stats(self) -> Dict[str, object]:
+        """Lookup hit/miss, insert, and eviction counters plus the
+        windowed hit-rate timeline (ledger observability layer)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "inserts": self.inserts,
+            "evictions": self.total_evictions,
+            "entries": self.total_entries,
+            "size_bytes": self.size_bytes,
+            "timeline": self.timeline.as_dict()["timeline"],
+        }

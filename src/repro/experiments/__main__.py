@@ -93,6 +93,11 @@ def _summary_main(argv) -> int:
         "--cache-dir", type=str, default=None,
         help="cache directory to look for runs/latest.json in",
     )
+    parser.add_argument(
+        "--flows", action="store_true",
+        help="also render the per-regime flow ledger (Table I flows) and "
+        "its conservation audit; exits non-zero on drift",
+    )
     args = parser.parse_args(argv)
     if args.cache_dir:
         import os
@@ -102,7 +107,13 @@ def _summary_main(argv) -> int:
     if not path.exists():
         print(f"no run report at {path} — run some experiments first", file=sys.stderr)
         return 1
-    print(RunReport.read(path).format_summary())
+    report = RunReport.read(path)
+    print(report.format_summary())
+    if args.flows:
+        print()
+        print(report.format_flows())
+        if report.audit_flow_conservation():
+            return 1
     return 0
 
 

@@ -9,9 +9,10 @@ different cores is modelled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import ledger
 from repro.common.errors import ConfigError, SimulationError
 from repro.cpu.cache import SetAssociativeCache
 from repro.cpu.hierarchy import MemoryHierarchy
@@ -23,7 +24,12 @@ from repro.cpu.params import (
     ProcessorParams,
     SoftwareCostParams,
 )
-from repro.kernel.scheduler import DracoCore, ScheduledProcess
+from repro.kernel.scheduler import (
+    DracoCore,
+    QuantumRecord,
+    ScheduledProcess,
+    audit_process_flows,
+)
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,9 @@ class MultiCoreResult:
     per_core_switches: Tuple[int, ...]
     total_syscalls: int
     l3_hit_rate: float
+    #: Per-process per-flow event counts and cycle totals.
+    per_process_flows: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    per_process_flow_cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 class MultiCoreSystem:
@@ -84,6 +93,8 @@ class MultiCoreSystem:
 
     def _run_quantum(self, core: DracoCore, process: ScheduledProcess, strict: bool) -> int:
         pipeline = core.schedule(process)
+        cold = core.last_schedule_cold
+        cycles_start = process.check_cycles
         end = min(process.cursor + self.quantum, len(process.trace))
         executed = 0
         while process.cursor < end:
@@ -93,11 +104,18 @@ class MultiCoreSystem:
                 raise SimulationError(
                     f"{process.name}: denied syscall {event.sid} {event.args}"
                 )
-            process.check_cycles += result.stall_cycles
-            process.syscalls_run += 1
+            process.account(result.flow.ledger_key, result.stall_cycles)
             process.cursor += 1
             executed += 1
             core.hierarchy.pollute(int(process.work_cycles_per_syscall))
+        if ledger.enabled():
+            process.quanta.append(
+                QuantumRecord(
+                    syscalls=executed,
+                    check_cycles=process.check_cycles - cycles_start,
+                    cold=cold,
+                )
+            )
         return executed
 
     def run(self, strict: bool = True) -> MultiCoreResult:
@@ -125,10 +143,17 @@ class MultiCoreSystem:
                         break
             if not progressed:  # pragma: no cover - loop guard
                 break
+        if ledger.audits_enabled():
+            for process in self.processes:
+                audit_process_flows(process, scope=f"multicore/{process.name}")
         l3_total = self.shared_l3.hits + self.shared_l3.misses
         return MultiCoreResult(
             per_process={p.name: p.mean_check_cycles for p in self.processes},
             per_core_switches=tuple(core.context_switches for core in self.cores),
             total_syscalls=total,
             l3_hit_rate=self.shared_l3.hits / l3_total if l3_total else 0.0,
+            per_process_flows={p.name: dict(p.flow_counts) for p in self.processes},
+            per_process_flow_cycles={
+                p.name: dict(p.flow_cycles) for p in self.processes
+            },
         )

@@ -16,8 +16,9 @@ cost.  The paper evaluates four families:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
+from repro.common import ledger as common_ledger
 from repro.core.hardware import HardwareDraco
 from repro.core.software import CheckOutcome, SoftwareDraco, build_process_tables
 from repro.cpu.hierarchy import MemoryHierarchy
@@ -51,15 +52,33 @@ class CheckingRegime(abc.ABC):
     def on_context_switch(self) -> None:
         """The scheduler preempted this process and later resumed it."""
 
+    def ledger_snapshot(self) -> Optional[common_ledger.FlowLedger]:
+        """A copy of this regime's own per-flow accounting, or ``None``
+        when the regime keeps none.  The simulator snapshots it around
+        the measured window and cross-checks the delta against its own
+        ledger (conservation audit)."""
+        return None
+
+    def structure_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-structure hit/miss/evict counters, or ``None``."""
+        return None
+
 
 class InsecureRegime(CheckingRegime):
     """Seccomp disabled — the paper's normalisation baseline."""
 
     def __init__(self) -> None:
         self.name = "insecure"
+        self._ledger = common_ledger.FlowLedger()
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
-        return CheckOutcome(allowed=True, cycles=0.0, path="none")
+        self._ledger.record(common_ledger.FLOW_NONE, 0.0)
+        return CheckOutcome(
+            allowed=True, cycles=0.0, path="none", flow=common_ledger.FLOW_NONE
+        )
+
+    def ledger_snapshot(self) -> common_ledger.FlowLedger:
+        return self._ledger.snapshot()
 
 
 #: Assembled-program memo: profiles are immutable and regimes are built
@@ -118,12 +137,14 @@ class SeccompRegime(CheckingRegime):
         # itself keyed on the masked argument bytes — memoize the whole
         # CheckOutcome so repeat syscalls are a single dict probe.
         self._outcome_memo: Dict[object, CheckOutcome] = {}
+        self._ledger = common_ledger.FlowLedger()
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         key = self.module.memo_key(event)
         if key is not None:
             cached = self._outcome_memo.get(key)
             if cached is not None:
+                self._ledger.record(cached.flow, cached.cycles)
                 return cached
         decision = self.module.check(event)
         per_insn = (
@@ -141,10 +162,22 @@ class SeccompRegime(CheckingRegime):
             cycles=cycles,
             path="filter_run" if decision.allowed else "denied",
             action=decision.return_value,
+            flow=(
+                common_ledger.FLOW_SECCOMP_FILTER
+                if decision.allowed
+                else common_ledger.FLOW_SECCOMP_DENIED
+            ),
         )
         if key is not None:
             self._outcome_memo[key] = outcome
+        self._ledger.record(outcome.flow, outcome.cycles)
         return outcome
+
+    def ledger_snapshot(self) -> common_ledger.FlowLedger:
+        return self._ledger.snapshot()
+
+    def structure_stats(self) -> Dict[str, Dict[str, int]]:
+        return {"seccomp": self.module.execution_stats()}
 
 
 class DracoSwRegime(CheckingRegime):
@@ -172,6 +205,15 @@ class DracoSwRegime(CheckingRegime):
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         return self.draco.check(event)
+
+    def ledger_snapshot(self) -> common_ledger.FlowLedger:
+        return self.draco.stats.ledger()
+
+    def structure_stats(self) -> Dict[str, Any]:
+        return {
+            "vat": self.draco.tables.vat.structure_stats(),
+            "seccomp": self.draco.seccomp.execution_stats(),
+        }
 
     @property
     def stats(self):
@@ -215,7 +257,20 @@ class DracoHwRegime(CheckingRegime):
     def check(self, event: SyscallEvent) -> CheckOutcome:
         result = self.draco.on_syscall(event)
         path = "hw:" + result.flow.value
-        return CheckOutcome(allowed=result.allowed, cycles=result.stall_cycles, path=path)
+        return CheckOutcome(
+            allowed=result.allowed,
+            cycles=result.stall_cycles,
+            path=path,
+            flow=result.flow.ledger_key,
+        )
+
+    def ledger_snapshot(self) -> common_ledger.FlowLedger:
+        return self.draco.stats.ledger()
+
+    def structure_stats(self) -> Dict[str, Any]:
+        stats = self.draco.structure_stats()
+        stats["seccomp"] = self.draco.seccomp.execution_stats()
+        return stats
 
     def advance(self, work_cycles: float) -> None:
         self.hierarchy.pollute(int(work_cycles))

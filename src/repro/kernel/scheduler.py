@@ -13,9 +13,10 @@ against the single-tenant numbers of Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
+from repro.common import ledger
 from repro.common.errors import ConfigError, SimulationError
 from repro.core.hardware import HardwareDraco
 from repro.core.software import build_process_tables
@@ -34,6 +35,17 @@ from repro.seccomp.profile import SeccompProfile
 from repro.syscalls.events import SyscallTrace
 
 
+@dataclass(frozen=True)
+class QuantumRecord:
+    """One scheduling quantum of a process (ledger observability layer)."""
+
+    syscalls: int
+    check_cycles: float
+    #: True when the quantum started on freshly invalidated per-core
+    #: structures (another process — or nothing — ran here before us).
+    cold: bool
+
+
 @dataclass
 class ScheduledProcess:
     """One tenant: its profile, trace, and per-syscall application work."""
@@ -46,6 +58,11 @@ class ScheduledProcess:
     cursor: int = 0
     check_cycles: float = 0.0
     syscalls_run: int = 0
+    #: Per-flow attribution of ``check_cycles`` (Table I flow keys).
+    flow_counts: Dict[str, int] = field(default_factory=dict)
+    flow_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Per-quantum timeline; only populated while the ledger is enabled.
+    quanta: List[QuantumRecord] = field(default_factory=list)
 
     @property
     def done(self) -> bool:
@@ -55,6 +72,31 @@ class ScheduledProcess:
     def mean_check_cycles(self) -> float:
         return self.check_cycles / self.syscalls_run if self.syscalls_run else 0.0
 
+    def account(self, flow: str, cycles: float) -> None:
+        """Attribute one checked syscall to *flow*."""
+        self.check_cycles += cycles
+        self.syscalls_run += 1
+        self.flow_counts[flow] = self.flow_counts.get(flow, 0) + 1
+        self.flow_cycles[flow] = self.flow_cycles.get(flow, 0.0) + cycles
+
+    def flow_ledger(self) -> ledger.FlowLedger:
+        return ledger.FlowLedger(self.flow_counts, self.flow_cycles)
+
+
+def audit_process_flows(process: ScheduledProcess, scope: str) -> None:
+    """Conservation audit for one scheduled process: flow counts must
+    equal syscalls run, and the per-flow cycle buckets must sum to the
+    running ``check_cycles`` total (within FP reassociation noise)."""
+    led = process.flow_ledger()
+    led.audit_totals(process.syscalls_run, led.total_cycles(), scope=scope)
+    want = led.total_cycles()
+    got = process.check_cycles
+    if abs(want - got) > ledger.CYCLE_RTOL * max(abs(want), abs(got), 1.0):
+        raise ledger.ConservationError(
+            f"[{scope}] per-flow cycles sum to {want!r} but the process "
+            f"accumulated check_cycles={got!r}"
+        )
+
 
 @dataclass(frozen=True)
 class ScheduleResult:
@@ -63,6 +105,9 @@ class ScheduleResult:
     per_process: Dict[str, float]          # mean check cycles
     context_switches: int
     total_syscalls: int
+    #: Per-process per-flow event counts and cycle totals.
+    per_process_flows: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    per_process_flow_cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 class DracoCore:
@@ -82,6 +127,9 @@ class DracoCore:
         self._pipelines: Dict[str, HardwareDraco] = {}
         self._current: Optional[str] = None
         self.context_switches = 0
+        #: Whether the most recent :meth:`schedule` call handed the
+        #: process freshly invalidated per-core structures.
+        self.last_schedule_cold = True
 
     def _pipeline_for(self, process: ScheduledProcess) -> HardwareDraco:
         pipeline = self._pipelines.get(process.name)
@@ -102,6 +150,7 @@ class DracoCore:
 
     def schedule(self, process: ScheduledProcess) -> HardwareDraco:
         """Make *process* current; models the Section VII-B switch."""
+        self.last_schedule_cold = self._current != process.name
         if self._current == process.name:
             return self._pipelines[process.name]
         if self._current is not None:
@@ -140,11 +189,15 @@ class RoundRobinScheduler:
     def run(self, strict: bool = True) -> ScheduleResult:
         """Interleave every process's trace to completion."""
         total = 0
+        timelines = ledger.enabled()
         while any(not p.done for p in self.processes):
             for process in self.processes:
                 if process.done:
                     continue
                 pipeline = self.core.schedule(process)
+                cold = self.core.last_schedule_cold
+                quantum_start = process.syscalls_run
+                cycles_start = process.check_cycles
                 end = min(process.cursor + self.quantum, len(process.trace))
                 while process.cursor < end:
                     event = process.trace[process.cursor]
@@ -153,15 +206,29 @@ class RoundRobinScheduler:
                         raise SimulationError(
                             f"{process.name}: denied syscall {event.sid} {event.args}"
                         )
-                    process.check_cycles += result.stall_cycles
-                    process.syscalls_run += 1
+                    process.account(result.flow.ledger_key, result.stall_cycles)
                     process.cursor += 1
                     total += 1
                     self.core.hierarchy.pollute(
                         int(process.work_cycles_per_syscall)
                     )
+                if timelines:
+                    process.quanta.append(
+                        QuantumRecord(
+                            syscalls=process.syscalls_run - quantum_start,
+                            check_cycles=process.check_cycles - cycles_start,
+                            cold=cold,
+                        )
+                    )
+        if ledger.audits_enabled():
+            for process in self.processes:
+                audit_process_flows(process, scope=f"scheduler/{process.name}")
         return ScheduleResult(
             per_process={p.name: p.mean_check_cycles for p in self.processes},
             context_switches=self.core.context_switches,
             total_syscalls=total,
+            per_process_flows={p.name: dict(p.flow_counts) for p in self.processes},
+            per_process_flow_cycles={
+                p.name: dict(p.flow_cycles) for p in self.processes
+            },
         )

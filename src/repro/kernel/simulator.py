@@ -19,10 +19,10 @@ the paper's methodology of warming architectural state before measuring
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Union
 
-from repro.common import telemetry
+from repro.common import ledger, telemetry
 from repro.common.errors import SimulationError
 from repro.kernel.regimes import CheckingRegime
 from repro.syscalls.events import SyscallEvent, SyscallTrace
@@ -40,10 +40,21 @@ class RunResult:
     mean_check_cycles: float
     normalized_time: float
     path_counts: Dict[str, int]
+    #: Per-flow ledger over the measured window.  ``total_check_cycles``
+    #: is *derived* from ``flow_cycles`` (summed in sorted-key order),
+    #: so ``sum(flow_cycles.values()) == total_check_cycles`` holds
+    #: exactly — the conservation invariant the ledger audits.
+    flow_counts: Dict[str, int] = field(default_factory=dict)
+    flow_cycles: Dict[str, float] = field(default_factory=dict)
+    total_check_cycles: float = 0.0
+    warmup_events: int = 0
 
     @property
     def overhead_percent(self) -> float:
         return (self.normalized_time - 1.0) * 100.0
+
+    def flow_ledger(self) -> ledger.FlowLedger:
+        return ledger.FlowLedger(self.flow_counts, self.flow_cycles)
 
 
 def run_trace(
@@ -77,10 +88,11 @@ def run_trace(
     check = regime.check
     advance = regime.advance
     events = iter(trace)
-    total_check = 0.0
     warmed = 0
     measured = 0
     paths: Dict[str, int] = {}
+    flow_counts: Dict[str, int] = {}
+    flow_cycles: Dict[str, float] = {}
     if warmup:
         for event in events:
             outcome = check(event)
@@ -93,6 +105,15 @@ def run_trace(
             warmed += 1
             if warmed >= warmup:
                 break
+        if warmed < warmup:
+            raise SimulationError(
+                f"events_total={n} but the stream ended after {warmed} events, "
+                "inside the warm-up window"
+            )
+
+    audits = ledger.audits_enabled()
+    regime_before = regime.ledger_snapshot() if audits else None
+
     for event in events:
         outcome = check(event)
         if strict and not outcome.allowed:
@@ -101,14 +122,48 @@ def run_trace(
                 "does not cover the workload (coverage bug)"
             )
         advance(work_cycles_per_syscall)
-        total_check += outcome.cycles
         measured += 1
         path = outcome.path
         paths[path] = paths.get(path, 0) + 1
+        flow = outcome.flow or path
+        flow_counts[flow] = flow_counts.get(flow, 0) + 1
+        flow_cycles[flow] = flow_cycles.get(flow, 0.0) + outcome.cycles
 
-    mean_check = total_check / measured if measured else 0.0
+    if measured == 0:
+        short = (
+            f"; the stream ended after {warmed} of events_total={n} events"
+            if events_total is not None and warmed < n
+            else ""
+        )
+        raise SimulationError(
+            f"warm-up consumed all {warmed} events"
+            f" (warmup_fraction={warmup_fraction}){short} — nothing left to "
+            "measure; lower warmup_fraction or lengthen the trace"
+        )
+    if events_total is not None and warmed + measured < n:
+        raise SimulationError(
+            f"events_total={n} but the stream ended after "
+            f"{warmed + measured} events"
+        )
+
+    run_ledger = ledger.FlowLedger(flow_counts, flow_cycles)
+    # The total is *derived* from the per-flow buckets (sorted-key sum),
+    # so conservation holds exactly by construction; the audits below
+    # then cross-check the counts against the events measured and the
+    # whole ledger against the regime's own independent accounting.
+    total_check = run_ledger.total_cycles()
+    mean_check = total_check / measured
     baseline = work_cycles_per_syscall + syscall_base_cycles
     normalized = (baseline + mean_check) / baseline
+
+    if audits:
+        scope = f"{workload_name or '?'}/{regime.name}"
+        run_ledger.audit_totals(measured, total_check, scope=scope)
+        if regime_before is not None:
+            regime_after = regime.ledger_snapshot()
+            if regime_after is not None:
+                run_ledger.audit_against(regime_before, regime_after, scope=scope)
+
     # Both counters cover the measured window (warm-up events previously
     # inflated `events` while being excluded from `total_cycles`).
     telemetry.record_simulation(
@@ -117,6 +172,9 @@ def run_trace(
         check_cycles=total_check,
         total_cycles=measured * baseline + total_check,
         warmup_events=warmed,
+        flow_counts=flow_counts,
+        flow_cycles=flow_cycles,
+        structures=regime.structure_stats() if ledger.enabled() else None,
     )
     return RunResult(
         workload=workload_name,
@@ -127,6 +185,10 @@ def run_trace(
         mean_check_cycles=mean_check,
         normalized_time=normalized,
         path_counts=paths,
+        flow_counts=flow_counts,
+        flow_cycles=flow_cycles,
+        total_check_cycles=total_check,
+        warmup_events=warmed,
     )
 
 

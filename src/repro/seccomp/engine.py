@@ -89,6 +89,13 @@ class SeccompKernelModule:
         self._compile = fastpath_enabled() if compile_filters is None else compile_filters
         self._memo: Dict[Any, SeccompDecision] = {}
         self._key_fn: Optional[Callable[[SyscallEvent], Any]] = None
+        #: Execution accounting (ledger observability layer): how often
+        #: the filter stack was consulted, how often the decision memo
+        #: short-circuited it, and how many BPF instructions actually
+        #: ran (memo hits model instruction cost without executing).
+        self.checks = 0
+        self.memo_hits = 0
+        self.instructions_executed = 0
 
     @property
     def filters(self) -> Tuple[AttachedFilter, ...]:
@@ -134,9 +141,18 @@ class SeccompKernelModule:
             return None
         return self._key_fn(event)
 
+    def execution_stats(self) -> Dict[str, int]:
+        """Filter-execution counters for the run ledger."""
+        return {
+            "checks": self.checks,
+            "memo_hits": self.memo_hits,
+            "instructions_executed": self.instructions_executed,
+        }
+
     def check(self, event: SyscallEvent) -> SeccompDecision:
         """Run every attached filter on *event*, kernel-style."""
         filters = self._filters
+        self.checks += 1
         if not filters:
             return SeccompDecision(
                 return_value=SECCOMP_RET_ALLOW, instructions_executed=0, filters_run=0
@@ -145,6 +161,7 @@ class SeccompKernelModule:
         if memo_key is not None:
             cached = self._memo.get(memo_key)
             if cached is not None:
+                self.memo_hits += 1
                 return cached
         combined: Optional[int] = None
         executed = 0
@@ -170,6 +187,7 @@ class SeccompKernelModule:
                 )
         if combined is None:  # pragma: no cover - guarded by the early return
             raise SimulationError("no filter produced a result")
+        self.instructions_executed += executed
         decision = SeccompDecision(
             return_value=combined,
             instructions_executed=executed,
