@@ -1,0 +1,28 @@
+"""Kill switch for the batched (bulk-check) simulation kernel.
+
+The bulk fast path — run-length-encoded trace consumption plus
+steady-state bulk checking in the regimes (see
+``docs/ARCHITECTURE.md``, "Batched simulation kernel") — is designed to
+be bit-identical to the per-event path and is on by default.  Setting
+``REPRO_BULK=0`` forces every layer back to per-event execution; the
+differential tests and the benchmark harness flip this switch to prove
+equivalence and measure the speedup.
+
+This lives in ``repro.common`` so the core structures, the regimes and
+the simulator can all consult it without import cycles (the same
+pattern as ``repro.bpf.compile.fastpath_enabled``).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable: set to ``0``/``off`` to disable the bulk
+#: fast path (run coalescing still happens; every run is re-expanded
+#: into per-event checks).
+BULK_ENV = "REPRO_BULK"
+
+
+def bulk_enabled() -> bool:
+    """True unless ``REPRO_BULK`` disables the bulk fast path."""
+    return os.environ.get(BULK_ENV, "1").lower() not in ("0", "off", "false", "no")

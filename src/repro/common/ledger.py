@@ -124,6 +124,16 @@ class FlowLedger:
         self.counts[flow] = self.counts.get(flow, 0) + 1
         self.cycles[flow] = self.cycles.get(flow, 0.0) + cycles
 
+    def record_bulk(self, flow: str, cycles: float, count: int) -> None:
+        """Account *count* syscalls that each cost *cycles* (bulk path).
+
+        Charges ``cycles * count`` in one addition; callers comparing
+        against a per-event ledger should use :meth:`audit_against`'s
+        :data:`CYCLE_RTOL` tolerance, not bit equality.
+        """
+        self.counts[flow] = self.counts.get(flow, 0) + count
+        self.cycles[flow] = self.cycles.get(flow, 0.0) + cycles * count
+
     def merge(self, other: "FlowLedger") -> None:
         for flow, count in other.counts.items():
             self.counts[flow] = self.counts.get(flow, 0) + count
@@ -250,6 +260,29 @@ class WindowedCounter:
             self.timeline.append(self._win_hits / self._win_total)
             self._win_hits = 0
             self._win_total = 0
+
+    def record_bulk(self, hit: bool, count: int) -> None:
+        """Exactly ``count`` consecutive :meth:`record` calls with the
+        same *hit* value, replaying window closings precisely (each
+        closed window's rate is an integer ratio, so the timeline is
+        bit-identical to the per-event path)."""
+        if count <= 0:
+            return
+        if hit:
+            self.hits += count
+        else:
+            self.misses += count
+        remaining = count
+        while remaining:
+            take = min(remaining, self.window - self._win_total)
+            if hit:
+                self._win_hits += take
+            self._win_total += take
+            remaining -= take
+            if self._win_total >= self.window:
+                self.timeline.append(self._win_hits / self._win_total)
+                self._win_hits = 0
+                self._win_total = 0
 
     @property
     def total(self) -> int:

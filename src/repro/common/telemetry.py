@@ -37,6 +37,10 @@ class SimulationCounters:
     #: cycle totals below; warm-up events are counted separately.
     events_simulated: int = 0
     warmup_events: int = 0
+    #: Run-length-encoded (event, count) pairs consumed over the
+    #: measured windows; ``events_simulated / runs_coalesced`` is the
+    #: mean consecutive-identical run length the bulk kernel exploited.
+    runs_coalesced: int = 0
     check_cycles: float = 0.0
     total_cycles: float = 0.0
     #: Per-regime totals over the measured (post-warm-up) window.
@@ -75,6 +79,12 @@ class SimulationCounters:
             "traces_run": self.traces_run,
             "events_simulated": self.events_simulated,
             "warmup_events": self.warmup_events,
+            "runs_coalesced": self.runs_coalesced,
+            "mean_run_length": (
+                round(self.events_simulated / self.runs_coalesced, 3)
+                if self.runs_coalesced
+                else 0.0
+            ),
             "check_cycles": round(self.check_cycles, 3),
             "total_cycles": round(self.total_cycles, 3),
             "regime_cycles": {k: round(v, 3) for k, v in sorted(self.regime_cycles.items())},
@@ -116,6 +126,7 @@ def record_simulation(
     flow_counts: Optional[Mapping[str, int]] = None,
     flow_cycles: Optional[Mapping[str, float]] = None,
     structures: Optional[Mapping[str, Any]] = None,
+    runs_coalesced: int = 0,
 ) -> None:
     """Account one simulated trace (called by the kernel simulator).
 
@@ -128,6 +139,7 @@ def record_simulation(
     _COUNTERS.traces_run += 1
     _COUNTERS.events_simulated += events
     _COUNTERS.warmup_events += warmup_events
+    _COUNTERS.runs_coalesced += runs_coalesced
     _COUNTERS.check_cycles += check_cycles
     _COUNTERS.total_cycles += total_cycles
     _COUNTERS.regime_cycles[regime] = _COUNTERS.regime_cycles.get(regime, 0.0) + total_cycles
@@ -147,6 +159,34 @@ def record_simulation(
         _merge_structures(
             _COUNTERS.regime_structures.setdefault(regime, {}), structures
         )
+
+
+def merge_simulations(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-shard simulation snapshots into one experiment-level
+    snapshot: numeric leaves are summed recursively (matching how the
+    counters would have accumulated in a single process) and the
+    derived ``mean_run_length`` is recomputed from the merged totals."""
+
+    def _merge_into(target: Dict[str, Any], source: Mapping[str, Any]) -> None:
+        for key, value in source.items():
+            if isinstance(value, Mapping):
+                _merge_into(target.setdefault(key, {}), value)
+            elif isinstance(value, bool):
+                target.setdefault(key, value)
+            elif isinstance(value, (int, float)):
+                target[key] = target.get(key, 0) + value
+            else:
+                target.setdefault(key, value)
+
+    merged: Dict[str, Any] = {}
+    for part in parts:
+        _merge_into(merged, part)
+    runs = merged.get("runs_coalesced", 0)
+    if "mean_run_length" in merged:
+        merged["mean_run_length"] = (
+            round(merged.get("events_simulated", 0) / runs, 3) if runs else 0.0
+        )
+    return merged
 
 
 def reset_counters() -> None:
@@ -236,6 +276,13 @@ class RunReport:
 
     def events_simulated(self) -> int:
         return sum(r.simulation.get("events_simulated", 0) for r in self.records)
+
+    def runs_coalesced(self) -> int:
+        return sum(r.simulation.get("runs_coalesced", 0) for r in self.records)
+
+    def mean_run_length(self) -> float:
+        runs = self.runs_coalesced()
+        return self.events_simulated() / runs if runs else 0.0
 
     def regime_cycles(self) -> Dict[str, float]:
         totals: Dict[str, float] = {}
@@ -355,18 +402,25 @@ class RunReport:
 
     def format_summary(self) -> str:
         """Fixed-width per-experiment summary (the ``summary`` subcommand)."""
-        header = ("experiment", "status", "cache", "wall_s", "events", "traces", "Mcycles")
+        header = (
+            "experiment", "status", "cache", "wall_s", "events", "traces",
+            "runs", "run_len", "Mcycles",
+        )
         rows = [header]
         for r in self.records:
             sim = r.simulation
+            runs = sim.get("runs_coalesced", 0)
+            events = sim.get("events_simulated", 0)
             rows.append(
                 (
                     r.experiment_id,
                     r.status,
                     r.cache,
                     f"{r.wall_time_s:.2f}",
-                    str(sim.get("events_simulated", 0)),
+                    str(events),
                     str(sim.get("traces_run", 0)),
+                    str(runs),
+                    f"{events / runs:.2f}" if runs else "-",
                     f"{sim.get('total_cycles', 0.0) / 1e6:.1f}",
                 )
             )

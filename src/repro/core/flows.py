@@ -26,6 +26,11 @@ class Flow(enum.Enum):
     SPT_ONLY = "spt_only"       # no checkable arguments: Valid bit suffices
     OS_CHECK = "os_check"       # VAT had no entry: Seccomp filter executed
 
+    #: ``Enum.__hash__`` re-hashes the member *name* on every call, and
+    #: flow members key the per-event stats dicts; the members are
+    #: singletons, so identity hashing is observationally equivalent.
+    __hash__ = object.__hash__
+
     @property
     def is_fast(self) -> bool:
         return self in (Flow.FLOW_1, Flow.FLOW_3, Flow.FLOW_5, Flow.SPT_ONLY)

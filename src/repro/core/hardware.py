@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.common import ledger as common_ledger
+from repro.common.bulk import bulk_enabled
 from repro.core.flows import Flow, classify
 from repro.core.slb import HashId, Slb
 from repro.core.software import ProcessTables
@@ -86,6 +87,20 @@ class HardwareDracoStats:
         self.total_stall_cycles += result.stall_cycles
         self.syscalls += 1
 
+    def record_bulk(self, result: HwCheckResult, count: int) -> None:
+        """Account *count* identical outcomes in O(1).  Cycle buckets are
+        charged ``stall * count`` in one addition, so comparisons against
+        a per-event ledger must use the audit tolerance, not bit equality
+        (counts stay exact)."""
+        self.flows[result.flow] = self.flows.get(result.flow, 0) + count
+        self.flow_cycles[result.flow] = (
+            self.flow_cycles.get(result.flow, 0.0) + result.stall_cycles * count
+        )
+        if result.os_invoked:
+            self.os_invocations += count
+        self.total_stall_cycles += result.stall_cycles * count
+        self.syscalls += count
+
     @property
     def mean_stall_cycles(self) -> float:
         return self.total_stall_cycles / self.syscalls if self.syscalls else 0.0
@@ -133,7 +148,17 @@ class HardwareDraco:
         self.temp = TemporaryBuffer(hw)
         self.stats = HardwareDracoStats()
         self._saved_spt: Tuple[SptEntry, ...] = ()
+        #: Steady-state memo (bulk fast path): event -> (result, kind,
+        #: *replay refs).  An entry stays valid while the exact structure
+        #: entries its walk touched remain resident — see
+        #: :meth:`steady_probe`.
+        self._bulk = bulk_enabled()
+        self._steady: Dict[SyscallEvent, tuple] = {}
         self._populate_spt()
+
+    #: Steady-memo size cap (events are few in practice; this is a
+    #: safety valve against adversarially wide traces).
+    _STEADY_LIMIT = 1 << 14
 
     def _populate_spt(self) -> None:
         """OS populates the per-core SPT from the process profile (§VIII)."""
@@ -199,6 +224,143 @@ class HardwareDraco:
     # ------------------------------------------------------------------
 
     def on_syscall(self, event: SyscallEvent) -> HwCheckResult:
+        """One syscall through the pipeline, with a steady-state memo in
+        front of the full walk when the bulk fast path is enabled.
+
+        A memoized entry replays the exact per-structure side effects of
+        the original walk (clock ticks, LRU refreshes, hit counters,
+        Accessed bits, timelines) — see :meth:`steady_replay` — so the
+        memo is an accelerator, not an approximation.
+        """
+        if self._bulk:
+            memo = self.steady_probe(event)
+            if memo is not None:
+                self.steady_replay(memo, 1)
+                return memo[0]
+            epoch = self._epoch()
+            result = self._walk(event)
+            if self._epoch() == epoch:
+                self._maybe_install_steady(event, result)
+            return result
+        return self._walk(event)
+
+    def _epoch(self) -> int:
+        """Monotonic mutation epoch over every structure a steady-state
+        walk depends on.  All the counters only ever increase, so their
+        sum strictly increases on any mutation — used at install time to
+        verify a walk was pure (hit-only, nothing filled or claimed)."""
+        return (
+            self.slb.mutations
+            + self.stb.mutations
+            + self.spt.mutations
+            + self.temp.mutations
+            + self.tables.vat.mutations
+        )
+
+    def steady_probe(self, event: SyscallEvent) -> Optional[tuple]:
+        """The memo entry for *event* iff its walk is still replayable.
+
+        Validity is checked per entry, not via a global epoch: the memo
+        holds the exact structure entries its walk touched, and stays
+        live while those same objects remain resident (side-effect-free
+        ``peek`` probes) — unrelated fills and evictions elsewhere in
+        the structures cannot change this event's walk.  Because STB and
+        SLB entries are retrained *in place* (a PC shared by several
+        argument sets rewrites one ``StbEntry``), object identity alone
+        is not enough: the probe re-verifies the fields the walk reads —
+        the STB entry still predicts this event's SID, the speculative
+        preload still hits under the STB's current fetching hash, and
+        the temporary buffer holds no entry the walk would claim.
+        Invalid entries are left in place and overwritten by the next
+        install.
+        """
+        memo = self._steady.get(event)
+        if memo is None:
+            return None
+        stb_entry = self.stb.peek(event.pc)
+        if (
+            stb_entry is not memo[2]
+            or stb_entry.sid != event.sid
+            or self.spt.peek(event.sid) is not memo[3]
+        ):
+            return None
+        if memo[1] == "flow1":
+            arg_count = memo[4]
+            if (
+                self.slb.peek_access(event.sid, arg_count, event.args, memo[6])
+                is not memo[5]
+                or not self.slb.peek_preload(
+                    event.sid, arg_count, stb_entry.hash_id
+                )
+                or self.temp.peek_match(event.sid, event.args) is not None
+            ):
+                return None
+        return memo
+
+    def _maybe_install_steady(
+        self, event: SyscallEvent, result: HwCheckResult
+    ) -> None:
+        """Memoize *result* when the walk it came from is replayable.
+
+        Eligible walks mutate nothing (the caller verified the mutation
+        epoch is unchanged) and touch only structures whose per-event
+        effects can be applied arithmetically:
+
+        * **Flow 1** (STB hit / preload hit / SLB access hit): one STB
+          hit, two SPT hits, one preload-probe hit, one SLB access hit.
+        * **SPT-only with an STB hit**: two STB hits (the second from
+          ``_maybe_update_stb``'s probe) and two SPT hits.
+
+        Everything else (fills, VAT walks, OS checks, mispredictions)
+        re-runs the full walk every time.
+        """
+        if result.flow is Flow.FLOW_1:
+            stb_entry = self.stb.peek(event.pc)
+            spt_slot = self.spt.peek(event.sid)
+            if stb_entry is None or spt_slot is None:
+                return
+            arg_count = spt_slot.arg_count
+            key = VAT.key_for(event.args, spt_slot.arg_bitmask)
+            hash_pair = (_HASHES[0](key), _HASHES[1](key))
+            slb_entry = self.slb.peek_access(
+                event.sid, arg_count, event.args, hash_pair
+            )
+            if slb_entry is None:
+                return
+            if len(self._steady) >= self._STEADY_LIMIT:
+                self._steady.clear()
+            self._steady[event] = (
+                result, "flow1", stb_entry, spt_slot, arg_count, slb_entry, hash_pair
+            )
+        elif result.flow is Flow.SPT_ONLY and result.stb_hit:
+            stb_entry = self.stb.peek(event.pc)
+            spt_slot = self.spt.peek(event.sid)
+            if stb_entry is None or spt_slot is None:
+                return
+            if len(self._steady) >= self._STEADY_LIMIT:
+                self._steady.clear()
+            self._steady[event] = (result, "spt_only", stb_entry, spt_slot)
+
+    def steady_replay(self, memo: tuple, count: int) -> None:
+        """Apply the side effects of *count* steady-state walks of the
+        memoized event, bit-identical to running them one by one."""
+        kind = memo[1]
+        if kind == "flow1":
+            result, _, stb_entry, spt_slot, arg_count, slb_entry, _ = memo
+            self.stb.record_hit_bulk(stb_entry, count)
+            self.spt.record_hit_bulk(spt_slot, 2 * count)
+            self.slb.record_preload_hit_bulk(count)
+            self.slb.record_access_hit_bulk(arg_count, slb_entry, count)
+        else:  # "spt_only": the ROB-head and STB-refresh probes both hit
+            result, _, stb_entry, spt_slot = memo
+            self.stb.record_hit_bulk(stb_entry, 2 * count)
+            self.spt.record_hit_bulk(spt_slot, 2 * count)
+        if count == 1:
+            self.stats.record(result)
+        else:
+            self.stats.record_bulk(result, count)
+
+    def _walk(self, event: SyscallEvent) -> HwCheckResult:
         stb_hit, preload_hit, preload_latency, predicted_sid = (
             self._preload(event) if self.preload_enabled else (False, None, 0.0, None)
         )

@@ -81,6 +81,33 @@ class SlbSubtable:
             entry.sid == sid and entry.hash_id == hash_id for entry in entries
         )
 
+    def peek(
+        self, sid: int, args: Tuple[int, ...], hash_pair: Tuple[int, int]
+    ) -> Optional[SlbEntry]:
+        """Side-effect-free :meth:`access` probe (no clock, no LRU);
+        used by the bulk fast path to capture replay references."""
+        for value in hash_pair:
+            for entry in self._sets[self._index(sid, value)]:
+                if entry.sid == sid and entry.args == args:
+                    return entry
+        return None
+
+    def peek_preload(self, sid: int, hash_id: HashId) -> bool:
+        """Side-effect-free :meth:`preload_probe` (no counters, no
+        timeline); the bulk fast path re-verifies the speculative hit
+        before replaying a memoized walk."""
+        entries = self._sets[self._index(sid, hash_id[1])]
+        return any(
+            entry.sid == sid and entry.hash_id == hash_id for entry in entries
+        )
+
+    def touch_bulk(self, entry: SlbEntry, count: int) -> None:
+        """Replay *count* non-speculative LRU refreshes of *entry*:
+        the clock advances once per access, and only the final
+        ``last_used`` value is observable."""
+        self._clock += count
+        entry.last_used = self._clock
+
     def fill(
         self,
         sid: int,
@@ -137,6 +164,10 @@ class Slb:
         self.access_misses = 0
         self.preload_hits = 0
         self.preload_misses = 0
+        #: Bumped on every state-changing operation (fill, invalidate);
+        #: the bulk-check fast path folds this into its steady-state
+        #: epoch, so memoized walk results never survive a mutation.
+        self.mutations = 0
         #: Windowed hit-rate timelines (ledger observability layer);
         #: recording is skipped entirely when the ledger is disabled.
         self._timelines_on = ledger.enabled()
@@ -175,6 +206,36 @@ class Slb:
             self.preload_timeline.record(hit)
         return hit
 
+    def peek_access(
+        self,
+        sid: int,
+        arg_count: int,
+        args: Tuple[int, ...],
+        hash_pair: Tuple[int, int],
+    ) -> Optional[SlbEntry]:
+        """Side-effect-free :meth:`access` probe (bulk fast path)."""
+        return self.subtable(arg_count).peek(sid, args, hash_pair)
+
+    def peek_preload(self, sid: int, arg_count: int, hash_id: HashId) -> bool:
+        """Side-effect-free :meth:`preload_probe` (bulk fast path)."""
+        return self.subtable(arg_count).peek_preload(sid, hash_id)
+
+    def record_access_hit_bulk(
+        self, arg_count: int, entry: SlbEntry, count: int
+    ) -> None:
+        """Replay *count* steady-state non-speculative hits on *entry*."""
+        self.subtable(arg_count).touch_bulk(entry, count)
+        self.access_hits += count
+        if self._timelines_on:
+            self.access_timeline.record_bulk(True, count)
+
+    def record_preload_hit_bulk(self, count: int) -> None:
+        """Replay *count* steady-state preload-probe hits (counters
+        only: preload probes leave no LRU state by design)."""
+        self.preload_hits += count
+        if self._timelines_on:
+            self.preload_timeline.record_bulk(True, count)
+
     def fill(
         self,
         sid: int,
@@ -183,9 +244,11 @@ class Slb:
         args: Tuple[int, ...],
         hash_pair: Optional[Tuple[int, int]] = None,
     ) -> None:
+        self.mutations += 1
         self.subtable(arg_count).fill(sid, hash_id, args, hash_pair)
 
     def invalidate_all(self) -> None:
+        self.mutations += 1
         for subtable in self._subtables.values():
             subtable.invalidate_all()
 

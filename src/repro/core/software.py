@@ -13,9 +13,10 @@ cached positive validation remains valid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common import ledger
+from repro.common.bulk import bulk_enabled
 from repro.core.spt import SoftwareSPT, SptEntry
 from repro.core.vat import VAT
 from repro.cpu.params import DEFAULT_SW_COSTS, SoftwareCostParams
@@ -90,6 +91,44 @@ class CheckOutcome:
     #: which case consumers fall back to ``path``.
     flow: str = ""
 
+    def __post_init__(self) -> None:
+        # Outcomes key the simulator's per-event grouping dict; the
+        # fields are frozen, so hash once at construction.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.allowed, self.cycles, self.path, self.action, self.flow)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object):
+        if self is other:
+            return True
+        if other.__class__ is CheckOutcome:
+            return (
+                self._hash == other._hash
+                and self.cycles == other.cycles
+                and self.path == other.path
+                and self.flow == other.flow
+                and self.allowed == other.allowed
+                and self.action == other.action
+            )
+        return NotImplemented
+
+
+def _merge_segment(
+    segments: List[Tuple[CheckOutcome, int]], outcome: CheckOutcome, count: int
+) -> None:
+    """Append (outcome, count), coalescing with an equal-valued tail."""
+    if segments:
+        tail_outcome, tail_count = segments[-1]
+        if tail_outcome is outcome or tail_outcome == outcome:
+            segments[-1] = (tail_outcome, tail_count + count)
+            return
+    segments.append((outcome, count))
+
 
 @dataclass
 class SoftwareDracoStats:
@@ -141,6 +180,15 @@ class SoftwareDraco:
         self.costs = costs
         self.use_jit = use_jit
         self.stats = SoftwareDracoStats()
+        #: Steady-state memo (bulk fast path): event -> (epoch, outcome)
+        #: for the two pure fast paths (VAT hit, SPT-only).  The epoch is
+        #: the VAT's mutation counter — any insert (cuckoo relocations
+        #: may evict) or flush lazily invalidates every entry.
+        self._bulk = bulk_enabled()
+        self._steady: Dict[SyscallEvent, Tuple[int, CheckOutcome]] = {}
+
+    #: Steady-memo size cap (safety valve, as in the hardware model).
+    _STEADY_LIMIT = 1 << 14
 
     def attach_additional_filter(self, program) -> None:
         """Tighten the sandbox at runtime (seccomp(2) semantics: filters
@@ -171,7 +219,55 @@ class SoftwareDraco:
         )
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
-        """Figure 4's workflow: table check, then filter on a miss."""
+        """Figure 4's workflow: table check, then filter on a miss,
+        with a steady-state memo in front when the bulk path is on."""
+        if self._bulk:
+            memo = self._steady.get(event)
+            if memo is not None and memo[0] == self.tables.vat.mutations:
+                self._replay_steady(memo[1], 1)
+                return memo[1]
+        outcome = self._check_slow(event)
+        if self._bulk and (outcome.path == "vat_hit" or outcome.path == "spt_only"):
+            # Neither fast path mutated the VAT, so the epoch read here
+            # is the one the walk ran under.
+            if len(self._steady) >= self._STEADY_LIMIT:
+                self._steady.clear()
+            self._steady[event] = (self.tables.vat.mutations, outcome)
+        return outcome
+
+    def _replay_steady(self, outcome: CheckOutcome, count: int) -> None:
+        """Apply the side effects of *count* steady-state checks of a
+        memoized outcome, bit-identical to running them one by one (the
+        fast paths touch only counters; ``cycles * count`` is exact for
+        ``count == 1`` and audit-tolerance-equal beyond)."""
+        if outcome.path == "vat_hit":
+            self.tables.vat.record_hit_bulk(count)
+            self.stats.vat_hits += count
+            self.stats.vat_hit_cycles += outcome.cycles * count
+        else:  # "spt_only"
+            self.stats.spt_only += count
+            self.stats.spt_only_cycles += outcome.cycles * count
+
+    def check_bulk(self, event: SyscallEvent, count: int) -> List[Tuple[CheckOutcome, int]]:
+        """Check *event* ``count`` times, returning chronological
+        ``(outcome, n)`` segments.  Once the walk reaches a steady fast
+        path the remainder of the run is replayed arithmetically (a
+        steady replay mutates nothing, so it stays steady)."""
+        segments: List[Tuple[CheckOutcome, int]] = []
+        remaining = count
+        while remaining:
+            memo = self._steady.get(event) if self._bulk else None
+            if memo is not None and memo[0] == self.tables.vat.mutations:
+                outcome = memo[1]
+                self._replay_steady(outcome, remaining)
+                _merge_segment(segments, outcome, remaining)
+                break
+            outcome = self.check(event)
+            _merge_segment(segments, outcome, 1)
+            remaining -= 1
+        return segments
+
+    def _check_slow(self, event: SyscallEvent) -> CheckOutcome:
         spt = self.tables.spt
         entry = spt.lookup(event.sid)
 

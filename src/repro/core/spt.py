@@ -79,6 +79,11 @@ class HardwareSPT:
         self.access_cycles = params.spt_access_cycles
         self.hits = 0
         self.misses = 0
+        #: Bumped on every state-changing operation (install, invalidate);
+        #: folded into the bulk fast path's steady-state epoch.  The
+        #: Accessed bit set by ``lookup`` is deliberately excluded — it
+        #: is idempotent and the bulk replay re-applies it.
+        self.mutations = 0
 
     @property
     def num_entries(self) -> int:
@@ -89,6 +94,7 @@ class HardwareSPT:
 
     def install(self, entry: SptEntry) -> Optional[SptEntry]:
         """Install an entry, returning any displaced (aliasing) entry."""
+        self.mutations += 1
         index = self._index(entry.sid)
         displaced = self._slots[index]
         self._slots[index] = entry
@@ -105,6 +111,20 @@ class HardwareSPT:
             return slot
         self.misses += 1
         return None
+
+    def peek(self, sid: int) -> Optional[SptEntry]:
+        """Side-effect-free :meth:`lookup` probe (no counters, no
+        Accessed bit); used by the bulk fast path."""
+        slot = self._slots[self._index(sid)]
+        if slot is not None and slot.sid == sid and slot.valid:
+            return slot
+        return None
+
+    def record_hit_bulk(self, slot: SptEntry, count: int) -> None:
+        """Replay *count* steady-state hits on *slot*: the Accessed bit
+        is (re-)set — it is idempotent — and the hit counter advances."""
+        slot.accessed = True
+        self.hits += count
 
     def clear_accessed_bits(self) -> None:
         """Periodic clearing (every ~500 us — Section VII-B)."""
@@ -123,6 +143,7 @@ class HardwareSPT:
             self.install(entry)
 
     def invalidate_all(self) -> None:
+        self.mutations += 1
         self._slots = [None] * self._num_entries
 
     @property

@@ -43,6 +43,9 @@ class Stb:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Bumped on every state-changing operation (update, invalidate);
+        #: folded into the bulk fast path's steady-state epoch.
+        self.mutations = 0
         self._timelines_on = ledger.enabled()
         self.timeline = ledger.WindowedCounter()
 
@@ -66,8 +69,28 @@ class Stb:
             self.timeline.record(False)
         return None
 
+    def peek(self, pc: int) -> Optional[StbEntry]:
+        """Side-effect-free probe: no counters, no LRU, no clock.  Used
+        by the bulk fast path to capture replay references."""
+        for entry in self._set_for(pc):
+            if entry.pc == pc:
+                return entry
+        return None
+
+    def record_hit_bulk(self, entry: StbEntry, count: int) -> None:
+        """Replay *count* steady-state hits on *entry*, exactly as that
+        many :meth:`lookup` hits would: per-hit clock ticks (collapsed —
+        only the final ``last_used`` is observable), LRU refresh, hit
+        counter, timeline."""
+        self._clock += count
+        entry.last_used = self._clock
+        self.hits += count
+        if self._timelines_on:
+            self.timeline.record_bulk(True, count)
+
     def update(self, pc: int, sid: int, hash_id: HashId) -> None:
         """Install or refresh the entry for a syscall site."""
+        self.mutations += 1
         self._clock += 1
         entries = self._set_for(pc)
         for entry in entries:
@@ -83,6 +106,7 @@ class Stb:
         entries.append(StbEntry(pc=pc, sid=sid, hash_id=hash_id, last_used=self._clock))
 
     def invalidate_all(self) -> None:
+        self.mutations += 1
         self._sets = [[] for _ in range(self.num_sets)]
 
     @property

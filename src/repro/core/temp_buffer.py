@@ -33,12 +33,18 @@ class TemporaryBuffer:
     def __init__(self, params: DracoHwParams = DracoHwParams()) -> None:
         self.capacity = params.temp_buffer_entries
         self._entries: List[TempEntry] = []
+        #: Bumped whenever the buffer's contents change (stash, a
+        #: successful take, clear); folded into the bulk fast path's
+        #: steady-state epoch — a stashed entry could match a memoized
+        #: event's (sid, args) and change its walk.
+        self.mutations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stash(self, sid: int, hash_id: HashId, args: Tuple[int, ...]) -> None:
         """Hold a preloaded VAT entry until its non-speculative access."""
+        self.mutations += 1
         if len(self._entries) >= self.capacity:
             self._entries.pop(0)  # oldest in-flight entry is stale
         self._entries.append(TempEntry(sid=sid, hash_id=hash_id, args=args))
@@ -47,9 +53,21 @@ class TemporaryBuffer:
         """At the ROB head, claim (and remove) a matching preloaded entry."""
         for index, entry in enumerate(self._entries):
             if entry.sid == sid and entry.args == args:
+                self.mutations += 1
                 return self._entries.pop(index)
+        return None
+
+    def peek_match(self, sid: int, args: Tuple[int, ...]) -> Optional[TempEntry]:
+        """Side-effect-free :meth:`take_match` probe (bulk fast path):
+        a steady-state memo is only valid while no stashed entry would
+        be claimed by the memoized event's walk."""
+        for entry in self._entries:
+            if entry.sid == sid and entry.args == args:
+                return entry
         return None
 
     def clear(self) -> None:
         """Squash or context switch: discard all speculative state."""
+        if self._entries:
+            self.mutations += 1
         self._entries.clear()

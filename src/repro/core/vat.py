@@ -114,6 +114,11 @@ class VAT:
         self.hits = 0
         self.misses = 0
         self.inserts = 0
+        #: Bumped on every operation that can remove or replace an entry
+        #: (insert — cuckoo relocation may evict — and clear_all); folded
+        #: into the bulk fast path's steady-state epoch so memoized hit
+        #: outcomes never survive a mutation.
+        self.mutations = 0
         self._timelines_on = ledger.enabled()
         self.timeline = ledger.WindowedCounter()
 
@@ -172,11 +177,18 @@ class VAT:
             self.timeline.record(probe.hit)
         return probe
 
+    def record_hit_bulk(self, count: int) -> None:
+        """Account *count* replayed steady-state hits (bulk fast path)."""
+        self.hits += count
+        if self._timelines_on:
+            self.timeline.record_bulk(True, count)
+
     def insert(self, sid: int, key: bytes, args: Tuple[int, ...]) -> int:
         table = self._tables.get(sid)
         if table is None:
             table = self.ensure_table(sid, estimated_arg_sets=MIN_TABLE_SLOTS)
         self.inserts += 1
+        self.mutations += 1
         return table.insert(key, args)
 
     def clear_all(self) -> None:
@@ -185,6 +197,7 @@ class VAT:
         Required when the process's filter stack changes: newly attached
         filters can deny combinations the old stack validated.
         """
+        self.mutations += 1
         for table in self._tables.values():
             table.table.clear()
 

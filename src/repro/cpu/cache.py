@@ -67,6 +67,19 @@ class SetAssociativeCache:
         if tag in lines:
             lines[tag] = self._clock
 
+    def touch_repeat(self, address: int, count: int) -> None:
+        """Exactly *count* back-to-back :meth:`touch` calls: the clock
+        advances one tick per touch (so interleaved accesses elsewhere
+        keep their relative LRU order) and the line — if resident —
+        lands on the final tick."""
+        if count <= 0:
+            return
+        self._clock += count
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            lines[tag] = self._clock
+
     def invalidate(self, address: int) -> bool:
         set_index, tag = self._locate(address)
         lines = self._sets[set_index]

@@ -87,16 +87,50 @@ class MemoryHierarchy:
         self.l1.touch(address)
 
     def pollute(self, work_cycles: int) -> None:
-        """Model eviction pressure from *work_cycles* of application code."""
+        """Model eviction pressure from *work_cycles* of application code.
+
+        Pollution credit accrues across calls and is spent in *whole*
+        LRU sweeps only, with the fractional residue banked for the next
+        call.  That makes pollution k-linear: ``pollute(k*w)`` evicts
+        exactly as much as k calls of ``pollute(w)`` (the old code
+        clamped the credit at 1.0 and then zeroed it, silently dropping
+        pressure whenever more than one sweep's worth accumulated — and
+        dropping *all* pressure from small work quanta, whose fractional
+        evictions rounded down to zero lines before the credit reset).
+        """
         if work_cycles <= 0:
             return
         for level_name, cache in (("L1", self.l1), ("L2", self.l2), ("L3", self.l3)):
             rate = self.POLLUTION_PER_100K_CYCLES[level_name]
             credit = self._pollution_credit[level_name] + work_cycles * rate / 100_000
-            if credit >= 0.005:
-                fraction = min(credit, 1.0)
-                cache.evict_lru_fraction(fraction)
-                credit = 0.0
+            while credit >= 1.0:
+                cache.evict_lru_fraction(1.0)
+                credit -= 1.0
+            self._pollution_credit[level_name] = credit
+
+    def pollute_repeat(self, work_cycles: int, count: int) -> None:
+        """Exactly ``count`` back-to-back calls of ``pollute(work_cycles)``.
+
+        The per-call credit additions are replayed one by one — repeated
+        ``credit += c`` is not ``credit + k*c`` in IEEE-754 — so the
+        banked residue is bit-identical to the per-event path.  The LRU
+        sweeps themselves are deferred to the end of each level's replay:
+        no access intervenes between them, so ordering is immaterial.
+        """
+        if work_cycles <= 0 or count <= 0:
+            return
+        for level_name, cache in (("L1", self.l1), ("L2", self.l2), ("L3", self.l3)):
+            rate = self.POLLUTION_PER_100K_CYCLES[level_name]
+            increment = work_cycles * rate / 100_000
+            credit = self._pollution_credit[level_name]
+            sweeps = 0
+            for _ in range(count):
+                credit += increment
+                while credit >= 1.0:
+                    sweeps += 1
+                    credit -= 1.0
+            for _ in range(sweeps):
+                cache.evict_lru_fraction(1.0)
             self._pollution_credit[level_name] = credit
 
     def invalidate_all(self) -> None:

@@ -49,6 +49,11 @@ def _build_parser() -> argparse.ArgumentParser:
     jobs.add_argument(
         "--serial", action="store_true", help="force sequential execution"
     )
+    parser.add_argument(
+        "--no-shard", action="store_true",
+        help="do not split shardable experiments (fig11/fig12/fig13) into "
+        "per-workload subtasks under --jobs",
+    )
     cache_group = parser.add_mutually_exclusive_group()
     cache_group.add_argument(
         "--no-cache", action="store_true",
@@ -144,6 +149,7 @@ def main(argv=None) -> int:
         jobs=1 if args.serial else max(args.jobs, 1),
         cache_mode=cache_mode,
         cache_dir=args.cache_dir,
+        shard=not args.no_shard,
     )
 
     markdown_parts = []

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from repro.bpf.compile import COMPILER_VERSION
+from repro.kernel.simulator import SIM_KERNEL_VERSION
 from repro.experiments.results import ExperimentResult
 
 #: Environment variable overriding the cache directory.
@@ -117,6 +118,10 @@ class ResultCache:
         # semantics change there must invalidate cached results even if
         # it ships without a source diff (e.g. a vendored build).
         payload["bpf_compiler"] = COMPILER_VERSION
+        # Likewise the simulation kernel's numerical contract: grouping
+        # or summation-order changes alter result floats without any
+        # experiment parameter changing.
+        payload["sim_kernel"] = SIM_KERNEL_VERSION
         return params_digest(payload)
 
     def result_path(self, experiment_id: str, digest: str) -> Path:

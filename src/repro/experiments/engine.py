@@ -35,13 +35,26 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.common import telemetry
 from repro.common.rng import derive_seed
 from repro.experiments import cache as result_cache
+from repro.experiments import fig11_draco_sw, fig12_draco_hw, fig13_hit_rates
 from repro.experiments.registry import REGISTRY, by_id
 from repro.experiments.results import ExperimentResult
+from repro.workloads.catalog import CATALOG
 
 #: Cache behaviour modes for one engine run.
 CACHE_ON = "on"
 CACHE_OFF = "off"
 CACHE_REFRESH = "refresh"  # recompute everything, then repopulate
+
+#: Experiments that accept a per-workload ``workloads`` tuple and
+#: provide a merge that reassembles the full-catalog result
+#: byte-identically from per-workload shards.  Under ``jobs > 1`` the
+#: engine splits these into one subtask per catalog workload so the
+#: longest experiments parallelise instead of serialising one worker.
+SHARDABLE = {
+    "fig11": fig11_draco_sw.merge_shards,
+    "fig12": fig12_draco_hw.merge_shards,
+    "fig13": fig13_hit_rates.merge_shards,
+}
 
 
 @dataclass
@@ -119,6 +132,53 @@ def _execute_one(
     }
 
 
+def _merge_shard_payloads(
+    experiment_id: str,
+    run_kwargs: Dict[str, Any],
+    payloads: List[Dict[str, Any]],
+    cache_mode: str,
+) -> Dict[str, Any]:
+    """Reassemble per-workload shard payloads into one experiment payload.
+
+    The merged result is byte-identical to an unsharded run (see the
+    experiment's ``merge_shards``), so it is also stored under the
+    *unsharded* params digest — a later serial run is then a cache hit.
+    """
+    records = [telemetry.ExperimentRecord.from_json_dict(p["record"]) for p in payloads]
+    failures = [r for r in records if not r.ok]
+    statuses = {r.cache for r in records}
+    if statuses == {telemetry.CACHE_HIT}:
+        cache_status = telemetry.CACHE_HIT
+    elif telemetry.CACHE_OFF in statuses:
+        cache_status = telemetry.CACHE_OFF
+    elif telemetry.CACHE_REFRESH in statuses:
+        cache_status = telemetry.CACHE_REFRESH
+    else:
+        cache_status = telemetry.CACHE_MISS
+    store = result_cache.ResultCache()
+    digest = store.result_key(experiment_id, run_kwargs)
+    record = telemetry.ExperimentRecord(
+        experiment_id=experiment_id,
+        title=records[0].title,
+        status="failed" if failures else "ok",
+        cache=cache_status,
+        wall_time_s=sum(r.wall_time_s for r in records),
+        params_digest=digest,
+        error="\n".join(r.error for r in failures if r.error),
+        simulation=telemetry.merge_simulations([r.simulation for r in records]),
+    )
+    result: Optional[ExperimentResult] = None
+    if not failures:
+        parts = [ExperimentResult.from_json_dict(p["result"]) for p in payloads]
+        result = SHARDABLE[experiment_id](parts)
+        if cache_mode in (CACHE_ON, CACHE_REFRESH):
+            store.store_result(experiment_id, digest, result)
+    return {
+        "result": result.to_json_dict() if result is not None else None,
+        "record": record.to_json_dict(),
+    }
+
+
 def _task_kwargs(
     experiment_id: str,
     events: Optional[int],
@@ -144,23 +204,25 @@ def run_suite(
     cache_mode: str = CACHE_ON,
     cache_dir: Optional[str] = None,
     run_overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    shard: bool = True,
 ) -> SuiteRun:
     """Run a set of registry experiments, parallel when ``jobs > 1``.
 
     ``run_overrides`` maps experiment id to extra keyword arguments for
     its ``run()`` (e.g. a workload subset), applied after the shared
     ``events``/``seed``; unknown ids raise ``KeyError`` up front.
+
+    With ``shard`` (the default) and ``jobs > 1``, experiments in
+    :data:`SHARDABLE` are split into one subtask per catalog workload —
+    each cached independently — and their results reassembled in
+    catalog order, byte-identical to an unsharded run.  An experiment
+    given an explicit ``workloads`` override is never sharded.
     """
     ids = list(experiment_ids) if experiment_ids else [e.experiment_id for e in REGISTRY]
     for experiment_id in ids:
         by_id(experiment_id)  # fail fast on unknown ids
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-
-    tasks = [
-        (experiment_id, _task_kwargs(experiment_id, events, seed, run_overrides))
-        for experiment_id in ids
-    ]
 
     saved_env = {
         key: os.environ.get(key)
@@ -182,6 +244,33 @@ def run_suite(
         started_at=time.time(),
     )
     try:
+        # The plan is built after the cache env is applied so the
+        # pre-shard cache probe below sees the right cache root.
+        # plan: (experiment_id, kwargs, shard_count); shard_count == 0
+        # means the experiment runs whole as one task.
+        store = result_cache.ResultCache()
+        plan: List[tuple] = []
+        tasks: List[tuple] = []
+        for experiment_id in ids:
+            kwargs = _task_kwargs(experiment_id, events, seed, run_overrides)
+            shardable = (
+                shard
+                and jobs > 1
+                and experiment_id in SHARDABLE
+                and "workloads" not in kwargs
+            )
+            if shardable and cache_mode == CACHE_ON:
+                digest = store.result_key(experiment_id, kwargs)
+                if store.load_result(experiment_id, digest) is not None:
+                    shardable = False  # whole result cached: serve it directly
+            if shardable:
+                shards = [dict(kwargs, workloads=(name,)) for name in CATALOG]
+                plan.append((experiment_id, kwargs, len(shards)))
+                tasks.extend((experiment_id, shard_kwargs) for shard_kwargs in shards)
+            else:
+                plan.append((experiment_id, kwargs, 0))
+                tasks.append((experiment_id, kwargs))
+
         if jobs == 1 or len(tasks) <= 1:
             payloads = [
                 _execute_one(experiment_id, kwargs, cache_mode)
@@ -194,6 +283,20 @@ def run_suite(
                     for experiment_id, kwargs in tasks
                 ]
                 payloads = [future.result() for future in futures]
+
+        merged: List[Dict[str, Any]] = []
+        cursor = 0
+        for experiment_id, kwargs, shard_count in plan:
+            if shard_count == 0:
+                merged.append(payloads[cursor])
+                cursor += 1
+            else:
+                group = payloads[cursor:cursor + shard_count]
+                cursor += shard_count
+                merged.append(
+                    _merge_shard_payloads(experiment_id, kwargs, group, cache_mode)
+                )
+        payloads = merged
     finally:
         for key, value in saved_env.items():
             if value is None:

@@ -9,10 +9,14 @@ syscall-complete, macro/micro averages drop from 1.14/1.25 (Seccomp) to
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.results import ExperimentResult
+from repro.experiments.results import (
+    ExperimentResult,
+    average_rows_by_kind,
+    merge_shard_rows,
+)
 from repro.experiments.runner import get_context
 from repro.workloads.catalog import CATALOG
 
@@ -33,6 +37,10 @@ PAPER_AVERAGES = {
     ("micro", "draco-sw-complete-2x"): 1.23,
 }
 
+#: Rounding applied to every value row (averages are computed from the
+#: rounded rows, so shard merges reproduce them exactly).
+ROW_DECIMALS = 3
+
 
 def run(
     events: Optional[int] = None,
@@ -44,28 +52,19 @@ def run(
     regimes = tuple(r for pair in PAIRS for r in pair)
     columns = ("workload", "kind") + regimes
     rows = []
-    sums: Dict[str, Dict[str, float]] = {
-        "macro": {r: 0.0 for r in regimes},
-        "micro": {r: 0.0 for r in regimes},
-    }
-    counts = {"macro": 0, "micro": 0}
     for name in names:
         spec = CATALOG[name]
         kwargs = dict(seed=seed, old_kernel=old_kernel)
         if events is not None:
             kwargs["events"] = events
         ctx = get_context(name, **kwargs)
-        measured = {r: ctx.evaluate(r).normalized_time for r in regimes}
-        for r in regimes:
-            sums[spec.kind][r] += measured[r]
-        counts[spec.kind] += 1
-        rows.append((name, spec.kind) + tuple(round(measured[r], 3) for r in regimes))
-    for kind in ("macro", "micro"):
-        if counts[kind]:
-            rows.append(
-                (f"average-{kind}", kind)
-                + tuple(round(sums[kind][r] / counts[kind], 3) for r in regimes)
+        rows.append(
+            (name, spec.kind)
+            + tuple(
+                round(ctx.evaluate(r).normalized_time, ROW_DECIMALS) for r in regimes
             )
+        )
+    rows.extend(average_rows_by_kind(rows, ROW_DECIMALS))
     fig = "Fig 17" if old_kernel else "Fig 11"
     return ExperimentResult(
         experiment_id=fig,
@@ -77,6 +76,12 @@ def run(
             for (kind, regime), value in sorted(PAPER_AVERAGES.items())
         ),
     )
+
+
+def merge_shards(parts: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Merge per-workload shard results (catalog order) into the full
+    figure, byte-identical to an unsharded :func:`run`."""
+    return merge_shard_rows(parts, decimals=ROW_DECIMALS)
 
 
 def main() -> None:

@@ -8,10 +8,14 @@ for every profile, including the double-size checks.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.results import ExperimentResult
+from repro.experiments.results import (
+    ExperimentResult,
+    average_rows_by_kind,
+    merge_shard_rows,
+)
 from repro.experiments.runner import get_context
 from repro.workloads.catalog import CATALOG
 
@@ -23,6 +27,10 @@ REGIMES: Tuple[str, ...] = (
 
 PAPER_AVERAGE_OVERHEAD = 0.01
 
+#: Rounding applied to every value row (averages are computed from the
+#: rounded rows, so shard merges reproduce them exactly).
+ROW_DECIMALS = 4
+
 
 def run(
     events: Optional[int] = None,
@@ -32,28 +40,19 @@ def run(
     names = workloads or tuple(CATALOG)
     columns = ("workload", "kind") + REGIMES
     rows = []
-    sums: Dict[str, Dict[str, float]] = {
-        "macro": {r: 0.0 for r in REGIMES},
-        "micro": {r: 0.0 for r in REGIMES},
-    }
-    counts = {"macro": 0, "micro": 0}
     for name in names:
         spec = CATALOG[name]
         kwargs = dict(seed=seed)
         if events is not None:
             kwargs["events"] = events
         ctx = get_context(name, **kwargs)
-        measured = {r: ctx.evaluate(r).normalized_time for r in REGIMES}
-        for r in REGIMES:
-            sums[spec.kind][r] += measured[r]
-        counts[spec.kind] += 1
-        rows.append((name, spec.kind) + tuple(round(measured[r], 4) for r in REGIMES))
-    for kind in ("macro", "micro"):
-        if counts[kind]:
-            rows.append(
-                (f"average-{kind}", kind)
-                + tuple(round(sums[kind][r] / counts[kind], 4) for r in REGIMES)
+        rows.append(
+            (name, spec.kind)
+            + tuple(
+                round(ctx.evaluate(r).normalized_time, ROW_DECIMALS) for r in REGIMES
             )
+        )
+    rows.extend(average_rows_by_kind(rows, ROW_DECIMALS))
     return ExperimentResult(
         experiment_id="Fig 12",
         title="Hardware Draco, normalised to insecure",
@@ -61,6 +60,12 @@ def run(
         rows=tuple(rows),
         notes=("paper: average overhead is ~1% for all three profiles",),
     )
+
+
+def merge_shards(parts: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Merge per-workload shard results (catalog order) into the full
+    figure, byte-identical to an unsharded :func:`run`."""
+    return merge_shard_rows(parts, decimals=ROW_DECIMALS)
 
 
 def main() -> None:

@@ -9,10 +9,10 @@ MySQL and Redis, whose SLB access rates are 75-93%.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.common.rng import DEFAULT_SEED
-from repro.experiments.results import ExperimentResult
+from repro.experiments.results import ExperimentResult, merge_shard_rows
 from repro.experiments.runner import get_context
 from repro.kernel.simulator import run_trace
 from repro.workloads.catalog import CATALOG
@@ -71,6 +71,12 @@ def run(
             f"paper: SLB access 75-93% for {PAPER_LOW_SLB}, higher elsewhere",
         ),
     )
+
+
+def merge_shards(parts: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Merge per-workload shard results (catalog order): a plain
+    row concatenation — this figure has no summary rows."""
+    return merge_shard_rows(parts)
 
 
 def main() -> None:

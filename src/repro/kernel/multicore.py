@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.common import ledger
-from repro.common.errors import ConfigError, SimulationError
+from repro.common.bulk import bulk_enabled
+from repro.common.errors import ConfigError
 from repro.cpu.cache import SetAssociativeCache
 from repro.cpu.hierarchy import MemoryHierarchy
 from repro.cpu.params import (
@@ -28,6 +29,7 @@ from repro.kernel.scheduler import (
     DracoCore,
     QuantumRecord,
     ScheduledProcess,
+    _drive_quantum,
     audit_process_flows,
 )
 
@@ -91,23 +93,14 @@ class MultiCoreSystem:
 
     # -- execution ---------------------------------------------------------
 
-    def _run_quantum(self, core: DracoCore, process: ScheduledProcess, strict: bool) -> int:
+    def _run_quantum(
+        self, core: DracoCore, process: ScheduledProcess, strict: bool, bulk: bool
+    ) -> int:
         pipeline = core.schedule(process)
         cold = core.last_schedule_cold
         cycles_start = process.check_cycles
         end = min(process.cursor + self.quantum, len(process.trace))
-        executed = 0
-        while process.cursor < end:
-            event = process.trace[process.cursor]
-            result = pipeline.on_syscall(event)
-            if strict and not result.allowed:
-                raise SimulationError(
-                    f"{process.name}: denied syscall {event.sid} {event.args}"
-                )
-            process.account(result.flow.ledger_key, result.stall_cycles)
-            process.cursor += 1
-            executed += 1
-            core.hierarchy.pollute(int(process.work_cycles_per_syscall))
+        executed = _drive_quantum(pipeline, core.hierarchy, process, end, strict, bulk)
         if ledger.enabled():
             process.quanta.append(
                 QuantumRecord(
@@ -124,6 +117,7 @@ class MultiCoreSystem:
         if not any(self._run_queues):
             raise ConfigError("no processes assigned")
         total = 0
+        bulk = bulk_enabled()
         cursors = [0] * len(self.cores)  # per-core round-robin position
         while any(not p.done for p in self.processes):
             progressed = False
@@ -138,7 +132,7 @@ class MultiCoreSystem:
                         cursors[core_index] = (
                             cursors[core_index] + offset + 1
                         ) % len(queue)
-                        total += self._run_quantum(core, candidate, strict)
+                        total += self._run_quantum(core, candidate, strict, bulk)
                         progressed = True
                         break
             if not progressed:  # pragma: no cover - loop guard

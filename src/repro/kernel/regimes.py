@@ -16,11 +16,17 @@ cost.  The paper evaluates four families:
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common import ledger as common_ledger
+from repro.common.bulk import bulk_enabled
 from repro.core.hardware import HardwareDraco
-from repro.core.software import CheckOutcome, SoftwareDraco, build_process_tables
+from repro.core.software import (
+    CheckOutcome,
+    SoftwareDraco,
+    _merge_segment,
+    build_process_tables,
+)
 from repro.cpu.hierarchy import MemoryHierarchy
 from repro.cpu.params import (
     DEFAULT_DRACO_HW,
@@ -44,6 +50,25 @@ class CheckingRegime(abc.ABC):
     @abc.abstractmethod
     def check(self, event: SyscallEvent) -> CheckOutcome:
         """Check one syscall; returns permission and cycle cost."""
+
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        """Check a run of *count* identical events, interleaving
+        ``advance(work_cycles)`` after each check — semantically the
+        per-event sequence ``[check; advance] × count`` — and return its
+        outcomes as chronological ``(outcome, n)`` segments.
+
+        This default performs the sequence literally; regimes override
+        it with provably-equivalent steady-state shortcuts (the bulk
+        fast path).  Callers that consume runs must *not* also call
+        :meth:`advance` for the covered events.
+        """
+        segments: List[Tuple[CheckOutcome, int]] = []
+        for _ in range(count):
+            _merge_segment(segments, self.check(event), 1)
+            self.advance(work_cycles)
+        return segments
 
     def advance(self, work_cycles: float) -> None:
         """Account for *work_cycles* of application execution between
@@ -70,12 +95,22 @@ class InsecureRegime(CheckingRegime):
     def __init__(self) -> None:
         self.name = "insecure"
         self._ledger = common_ledger.FlowLedger()
+        self._outcome = CheckOutcome(
+            allowed=True, cycles=0.0, path="none", flow=common_ledger.FLOW_NONE
+        )
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         self._ledger.record(common_ledger.FLOW_NONE, 0.0)
-        return CheckOutcome(
-            allowed=True, cycles=0.0, path="none", flow=common_ledger.FLOW_NONE
-        )
+        return self._outcome
+
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        # No checking and no advance() side effects: a run collapses to
+        # one ledger bump (count is an int and cycles are 0.0, so the
+        # bulk update is exact).
+        self._ledger.record_bulk(common_ledger.FLOW_NONE, 0.0, count)
+        return [(self._outcome, count)]
 
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self._ledger.snapshot()
@@ -138,6 +173,7 @@ class SeccompRegime(CheckingRegime):
         # CheckOutcome so repeat syscalls are a single dict probe.
         self._outcome_memo: Dict[object, CheckOutcome] = {}
         self._ledger = common_ledger.FlowLedger()
+        self._bulk = bulk_enabled()
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         key = self.module.memo_key(event)
@@ -173,6 +209,29 @@ class SeccompRegime(CheckingRegime):
         self._ledger.record(outcome.flow, outcome.cycles)
         return outcome
 
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        """A filter decision is a pure function of the masked argument
+        bytes, so once the outcome memo holds the decision the rest of
+        the run is a single ledger bump — the memo-hit path in
+        :meth:`check` touches nothing else."""
+        if not self._bulk or count <= 1:
+            return super().check_run(event, count, work_cycles)
+        key = self.module.memo_key(event)
+        if key is None:
+            return super().check_run(event, count, work_cycles)
+        segments: List[Tuple[CheckOutcome, int]] = []
+        remaining = count
+        if key not in self._outcome_memo:
+            # Cold first check runs the filter and installs the memo.
+            _merge_segment(segments, self.check(event), 1)
+            remaining -= 1
+        cached = self._outcome_memo[key]
+        self._ledger.record_bulk(cached.flow, cached.cycles, remaining)
+        _merge_segment(segments, cached, remaining)
+        return segments
+
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self._ledger.snapshot()
 
@@ -205,6 +264,13 @@ class DracoSwRegime(CheckingRegime):
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         return self.draco.check(event)
+
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        # advance() is a no-op for the software regime, so the run
+        # delegates wholly to the checker's steady-state bulk path.
+        return self.draco.check_bulk(event, count)
 
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self.draco.stats.ledger()
@@ -253,16 +319,88 @@ class DracoHwRegime(CheckingRegime):
         )
         self._cs_interval = context_switch_interval_cycles
         self._cycles_since_switch = 0.0
+        self._bulk = bulk_enabled()
+        #: Dedup cache for the CheckOutcome wrappers around hardware
+        #: results; outcomes are frozen, so reuse is observationally
+        #: identical to building a fresh instance per event.
+        self._outcome_cache: Dict[tuple, CheckOutcome] = {}
+
+    _OUTCOME_CACHE_LIMIT = 4096
+
+    def _outcome_for(self, result) -> CheckOutcome:
+        key = (result.flow, result.stall_cycles, result.allowed)
+        outcome = self._outcome_cache.get(key)
+        if outcome is None:
+            if len(self._outcome_cache) >= self._OUTCOME_CACHE_LIMIT:
+                self._outcome_cache.clear()
+            outcome = CheckOutcome(
+                allowed=result.allowed,
+                cycles=result.stall_cycles,
+                path="hw:" + result.flow.value,
+                flow=result.flow.ledger_key,
+            )
+            self._outcome_cache[key] = outcome
+        return outcome
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
-        result = self.draco.on_syscall(event)
-        path = "hw:" + result.flow.value
-        return CheckOutcome(
-            allowed=result.allowed,
-            cycles=result.stall_cycles,
-            path=path,
-            flow=result.flow.ledger_key,
-        )
+        return self._outcome_for(self.draco.on_syscall(event))
+
+    def _advance_span(self, work_cycles: float, limit: int):
+        """How many ``[check; advance]`` iterations fit before the
+        context-switch timer fires, replaying the per-event float
+        accumulation exactly (repeated ``+=`` is not ``n * w`` in
+        IEEE-754).  Returns ``(span, residual_accumulator, fired)``.
+        """
+        if self._cs_interval is None or work_cycles == 0.0:
+            # advance() never accumulates (or adds zero): the whole run
+            # fits and the accumulator is untouched.
+            return limit, self._cycles_since_switch, False
+        acc = self._cycles_since_switch
+        interval = self._cs_interval
+        span = 0
+        while span < limit:
+            acc += work_cycles
+            span += 1
+            if acc >= interval:
+                return span, acc, True
+        return span, acc, False
+
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        """Steady-state bulk path: while the hardware walk for *event*
+        is memoized (pure hit flow, no structure mutation since it was
+        installed), a span of the run is replayed arithmetically.  The
+        span is cut where the context-switch timer fires, because the
+        switch invalidates Draco state and ends the steady regime.
+
+        Reordering within a span — ``span`` replayed checks, then
+        ``span`` pollution advances — is sound because steady replays
+        never touch the memory hierarchy and pollution never touches
+        the Draco structures.
+        """
+        if not self._bulk:
+            return super().check_run(event, count, work_cycles)
+        segments: List[Tuple[CheckOutcome, int]] = []
+        remaining = count
+        while remaining:
+            memo = self.draco.steady_probe(event)
+            if memo is None:
+                _merge_segment(segments, self.check(event), 1)
+                remaining -= 1
+                self.advance(work_cycles)
+                continue
+            span, residual, fired = self._advance_span(work_cycles, remaining)
+            self.draco.steady_replay(memo, span)
+            _merge_segment(segments, self._outcome_for(memo[0]), span)
+            remaining -= span
+            self.hierarchy.pollute_repeat(int(work_cycles), span)
+            if fired:
+                self._cycles_since_switch = 0.0
+                self.on_context_switch()
+            else:
+                self._cycles_since_switch = residual
+        return segments
 
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self.draco.stats.ledger()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common import ledger
+from repro.common.bulk import bulk_enabled
 from repro.common.errors import ConfigError, SimulationError
 from repro.core.hardware import HardwareDraco
 from repro.core.software import build_process_tables
@@ -79,6 +80,16 @@ class ScheduledProcess:
         self.flow_counts[flow] = self.flow_counts.get(flow, 0) + 1
         self.flow_cycles[flow] = self.flow_cycles.get(flow, 0.0) + cycles
 
+    def account_bulk(self, flow: str, cycles: float, count: int) -> None:
+        """Attribute *count* checked syscalls of identical cost to
+        *flow* in one update.  ``check_cycles`` and the per-flow bucket
+        receive the same ``cycles * count`` term, so the conservation
+        audit stays exact."""
+        self.check_cycles += cycles * count
+        self.syscalls_run += count
+        self.flow_counts[flow] = self.flow_counts.get(flow, 0) + count
+        self.flow_cycles[flow] = self.flow_cycles.get(flow, 0.0) + cycles * count
+
     def flow_ledger(self) -> ledger.FlowLedger:
         return ledger.FlowLedger(self.flow_counts, self.flow_cycles)
 
@@ -108,6 +119,80 @@ class ScheduleResult:
     #: Per-process per-flow event counts and cycle totals.
     per_process_flows: Dict[str, Dict[str, int]] = field(default_factory=dict)
     per_process_flow_cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _drive_quantum(
+    pipeline: HardwareDraco,
+    hierarchy: MemoryHierarchy,
+    process: ScheduledProcess,
+    end: int,
+    strict: bool,
+    bulk: bool,
+) -> int:
+    """Run *process* from its cursor up to trace index *end*.
+
+    Consecutive equal-valued results are accumulated and flushed to the
+    process ledger as one :meth:`ScheduledProcess.account_bulk` update.
+    The flush sequence is a pure function of the per-event result
+    *values*, so the bulk fast path (steady-state replays over runs of
+    identical events) and the literal per-event path produce
+    bit-identical accounting.  Deferring a span's cache pollution until
+    after its replayed checks is sound because steady replays never
+    touch the memory hierarchy and pollution never touches the Draco
+    structures.
+    """
+    trace = process.trace
+    work = int(process.work_cycles_per_syscall)
+    executed = 0
+    pending_flow = ""
+    pending_cycles = 0.0
+    pending_count = 0
+    while process.cursor < end:
+        event = trace[process.cursor]
+        if bulk:
+            memo = pipeline.steady_probe(event)
+            if memo is not None:
+                base = process.cursor
+                span = 1
+                while base + span < end:
+                    candidate = trace[base + span]
+                    if candidate is event or candidate == event:
+                        span += 1
+                    else:
+                        break
+                result = memo[0]
+                pipeline.steady_replay(memo, span)
+                hierarchy.pollute_repeat(work, span)
+                flow = result.flow.ledger_key
+                cycles = result.stall_cycles
+                if pending_count and pending_flow == flow and pending_cycles == cycles:
+                    pending_count += span
+                else:
+                    if pending_count:
+                        process.account_bulk(pending_flow, pending_cycles, pending_count)
+                    pending_flow, pending_cycles, pending_count = flow, cycles, span
+                process.cursor = base + span
+                executed += span
+                continue
+        result = pipeline.on_syscall(event)
+        if strict and not result.allowed:
+            raise SimulationError(
+                f"{process.name}: denied syscall {event.sid} {event.args}"
+            )
+        hierarchy.pollute(work)
+        flow = result.flow.ledger_key
+        cycles = result.stall_cycles
+        if pending_count and pending_flow == flow and pending_cycles == cycles:
+            pending_count += 1
+        else:
+            if pending_count:
+                process.account_bulk(pending_flow, pending_cycles, pending_count)
+            pending_flow, pending_cycles, pending_count = flow, cycles, 1
+        process.cursor += 1
+        executed += 1
+    if pending_count:
+        process.account_bulk(pending_flow, pending_cycles, pending_count)
+    return executed
 
 
 class DracoCore:
@@ -190,6 +275,7 @@ class RoundRobinScheduler:
         """Interleave every process's trace to completion."""
         total = 0
         timelines = ledger.enabled()
+        bulk = bulk_enabled()
         while any(not p.done for p in self.processes):
             for process in self.processes:
                 if process.done:
@@ -199,19 +285,9 @@ class RoundRobinScheduler:
                 quantum_start = process.syscalls_run
                 cycles_start = process.check_cycles
                 end = min(process.cursor + self.quantum, len(process.trace))
-                while process.cursor < end:
-                    event = process.trace[process.cursor]
-                    result = pipeline.on_syscall(event)
-                    if strict and not result.allowed:
-                        raise SimulationError(
-                            f"{process.name}: denied syscall {event.sid} {event.args}"
-                        )
-                    process.account(result.flow.ledger_key, result.stall_cycles)
-                    process.cursor += 1
-                    total += 1
-                    self.core.hierarchy.pollute(
-                        int(process.work_cycles_per_syscall)
-                    )
+                total += _drive_quantum(
+                    pipeline, self.core.hierarchy, process, end, strict, bulk
+                )
                 if timelines:
                     process.quanta.append(
                         QuantumRecord(

@@ -20,12 +20,22 @@ the paper's methodology of warming architectural state before measuring
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Union
+from itertools import chain
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.common import ledger, telemetry
 from repro.common.errors import SimulationError
+from repro.core.software import CheckOutcome
 from repro.kernel.regimes import CheckingRegime
-from repro.syscalls.events import SyscallEvent, SyscallTrace
+from repro.syscalls.events import SyscallEvent, SyscallTrace, iter_runs
+
+#: Version of the simulation kernel's numerical contract.  Bumped when
+#: the arithmetic that produces :class:`RunResult` changes (event-order
+#: summation vs. outcome-grouped summation, etc.), so on-disk result
+#: caches keyed on it are invalidated rather than silently mixing
+#: incompatible floats.  Version 2: run-length-encoded consumption with
+#: outcome-value grouping (identical under ``REPRO_BULK=0`` and ``=1``).
+SIM_KERNEL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,14 @@ def run_trace(
     :meth:`repro.workloads.generator.TraceGenerator.iter_events`.  For
     iterables without a length, pass ``events_total`` so the warm-up
     window can be sized up front.
+
+    The trace is consumed as run-length-encoded ``(event, count)``
+    pairs and outcomes are accumulated *grouped by value* — one integer
+    per distinct :class:`CheckOutcome` — then expanded into the path
+    and flow tallies once at the end.  Grouping makes the result
+    independent of how regimes segment a run, so the bulk fast path
+    (``REPRO_BULK=1``, the default) and the literal per-event path
+    (``REPRO_BULK=0``) produce byte-identical :class:`RunResult`\\ s.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must be within [0, 1)")
@@ -82,27 +100,47 @@ def run_trace(
         raise SimulationError("empty trace")
     warmup = int(n * warmup_fraction)
 
-    # The per-event loop is the simulator's hottest code: bound methods
-    # are hoisted and the warm-up window is split into its own loop so
-    # the measured loop carries no per-event index comparison.
+    # The run loop is the simulator's hottest code: bound methods are
+    # hoisted and the warm-up window is split out so the measured loop
+    # carries no per-run index comparison.
     check = regime.check
+    check_run = regime.check_run
     advance = regime.advance
-    events = iter(trace)
+
+    def _deny(event: SyscallEvent) -> None:
+        raise SimulationError(
+            f"{regime.name} denied {event.sid} {event.args} — the profile "
+            "does not cover the workload (coverage bug)"
+        )
+
+    def _consume(event: SyscallEvent, count: int):
+        """``[check; advance] × count`` via the regime, returning
+        chronological (outcome, n) segments.  Runs of one — the common
+        case — skip the segment machinery."""
+        if count == 1:
+            outcome = check(event)
+            advance(work_cycles_per_syscall)
+            return ((outcome, 1),)
+        return check_run(event, count, work_cycles_per_syscall)
+
+    runs = iter_runs(trace)
     warmed = 0
     measured = 0
-    paths: Dict[str, int] = {}
-    flow_counts: Dict[str, int] = {}
-    flow_cycles: Dict[str, float] = {}
+    runs_coalesced = 0
+    #: Distinct outcome value -> events, in first-seen (chronological)
+    #: order.  CheckOutcome is frozen, hence hashable.
+    groups: Dict[CheckOutcome, int] = {}
+    pending: Optional[Tuple[SyscallEvent, int]] = None
     if warmup:
-        for event in events:
-            outcome = check(event)
-            if strict and not outcome.allowed:
-                raise SimulationError(
-                    f"{regime.name} denied {event.sid} {event.args} — the profile "
-                    "does not cover the workload (coverage bug)"
-                )
-            advance(work_cycles_per_syscall)
-            warmed += 1
+        for event, count in runs:
+            remaining = warmup - warmed
+            take = count if count <= remaining else remaining
+            for outcome, _ in _consume(event, take):
+                if strict and not outcome.allowed:
+                    _deny(event)
+            warmed += take
+            if take < count:
+                pending = (event, count - take)
             if warmed >= warmup:
                 break
         if warmed < warmup:
@@ -114,20 +152,47 @@ def run_trace(
     audits = ledger.audits_enabled()
     regime_before = regime.ledger_snapshot() if audits else None
 
-    for event in events:
-        outcome = check(event)
-        if strict and not outcome.allowed:
-            raise SimulationError(
-                f"{regime.name} denied {event.sid} {event.args} — the profile "
-                "does not cover the workload (coverage bug)"
-            )
-        advance(work_cycles_per_syscall)
-        measured += 1
+    measured_runs = chain((pending,), runs) if pending is not None else runs
+    groups_get = groups.get
+    for event, count in measured_runs:
+        runs_coalesced += 1
+        # Runs of one — the common case — are inlined past the segment
+        # machinery; outcome grouping makes both arms arithmetically
+        # identical (one integer bump per distinct outcome value).
+        if count == 1:
+            outcome = check(event)
+            advance(work_cycles_per_syscall)
+            grouped = groups_get(outcome)
+            if grouped is None:
+                # Group creation is the outcome's first occurrence, so
+                # a strict denial raises at the same event the
+                # per-event loop would have raised at.
+                if strict and not outcome.allowed:
+                    _deny(event)
+                groups[outcome] = 1
+            else:
+                groups[outcome] = grouped + 1
+            measured += 1
+            continue
+        for outcome, seg in check_run(event, count, work_cycles_per_syscall):
+            grouped = groups_get(outcome)
+            if grouped is None:
+                if strict and not outcome.allowed:
+                    _deny(event)
+                groups[outcome] = seg
+            else:
+                groups[outcome] = grouped + seg
+        measured += count
+
+    paths: Dict[str, int] = {}
+    flow_counts: Dict[str, int] = {}
+    flow_cycles: Dict[str, float] = {}
+    for outcome, grouped in groups.items():
         path = outcome.path
-        paths[path] = paths.get(path, 0) + 1
+        paths[path] = paths.get(path, 0) + grouped
         flow = outcome.flow or path
-        flow_counts[flow] = flow_counts.get(flow, 0) + 1
-        flow_cycles[flow] = flow_cycles.get(flow, 0.0) + outcome.cycles
+        flow_counts[flow] = flow_counts.get(flow, 0) + grouped
+        flow_cycles[flow] = flow_cycles.get(flow, 0.0) + outcome.cycles * grouped
 
     if measured == 0:
         short = (
@@ -175,6 +240,7 @@ def run_trace(
         flow_counts=flow_counts,
         flow_cycles=flow_cycles,
         structures=regime.structure_stats() if ledger.enabled() else None,
+        runs_coalesced=runs_coalesced,
     )
     return RunResult(
         workload=workload_name,

@@ -29,6 +29,25 @@ class SyscallEvent:
         if len(self.args) > 6:
             raise ValueError("at most 6 syscall arguments")
         object.__setattr__(self, "args", tuple(int(a) for a in self.args))
+        # Events are hashed and compared on every simulated syscall
+        # (steady-state memos, outcome memos, run coalescing); the
+        # fields are frozen, so hash once at construction.
+        object.__setattr__(self, "_hash", hash((self.sid, self.args, self.pc)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object):
+        if self is other:
+            return True
+        if other.__class__ is SyscallEvent:
+            return (
+                self._hash == other._hash
+                and self.sid == other.sid
+                and self.pc == other.pc
+                and self.args == other.args
+            )
+        return NotImplemented
 
     @property
     def key(self) -> Tuple[int, Tuple[int, ...]]:
@@ -63,6 +82,32 @@ def make_event(
     return SyscallEvent(sid=sdef.sid, args=tuple(full), pc=pc)
 
 
+def iter_runs(events: Iterable[SyscallEvent]) -> Iterator[Tuple[SyscallEvent, int]]:
+    """Run-length encode *events*: yield ``(event, count)`` pairs for
+    maximal blocks of consecutive identical events.
+
+    Identity is checked first (trace generators reuse frozen instances,
+    making the common case one pointer comparison) with value equality
+    as the fallback, so re-parsed or hand-built traces coalesce too.
+    Concatenating ``count`` copies of each yielded event reproduces the
+    input exactly.
+    """
+    iterator = iter(events)
+    try:
+        prev = next(iterator)
+    except StopIteration:
+        return
+    count = 1
+    for event in iterator:
+        if event is prev or event == prev:
+            count += 1
+            continue
+        yield prev, count
+        prev = event
+        count = 1
+    yield prev, count
+
+
 class SyscallTrace:
     """An ordered sequence of syscall events with convenience analytics."""
 
@@ -85,6 +130,10 @@ class SyscallTrace:
         if isinstance(index, slice):
             return SyscallTrace(self._events[index])
         return self._events[index]
+
+    def iter_runs(self) -> Iterator[Tuple[SyscallEvent, int]]:
+        """Run-length-encoded view of the trace (see :func:`iter_runs`)."""
+        return iter_runs(self._events)
 
     def unique_sids(self) -> Tuple[int, ...]:
         return tuple(sorted({e.sid for e in self._events}))

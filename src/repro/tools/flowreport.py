@@ -134,6 +134,13 @@ def build_report(report: RunReport) -> Dict[str, Any]:
         "schema": SCHEMA,
         "code_fingerprint": report.code_fingerprint,
         "experiments": len(report.records),
+        "simulation": {
+            # Batched-kernel telemetry: how much consecutive-identical
+            # locality the RLE fast path had to work with.
+            "events_simulated": report.events_simulated(),
+            "runs_coalesced": report.runs_coalesced(),
+            "mean_run_length": report.mean_run_length(),
+        },
         "regimes": regimes,
         "conservation": {"ok": not problems, "problems": problems},
     }

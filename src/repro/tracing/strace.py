@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ReproError
-from repro.syscalls.events import SyscallEvent, SyscallTrace
+from repro.syscalls.events import SyscallEvent, SyscallTrace, iter_runs
 from repro.syscalls.table import LINUX_X86_64, SyscallTable
 
 
@@ -267,6 +267,13 @@ class StraceParser:
             event = self.record_to_event(record)
             if event is not None:
                 yield event
+
+    def iter_runs(self, lines: Iterable[str]) -> Iterator[Tuple[SyscallEvent, int]]:
+        """Run-length-encoded view of :meth:`iter_events` — identical
+        event sequence, coalesced into ``(event, count)`` pairs (real
+        logs repeat lines byte-for-byte in tight loops, so value
+        equality coalesces them even though instances differ)."""
+        return iter_runs(self.iter_events(lines))
 
     def parse(self, text: str) -> SyscallTrace:
         """Parse a whole log into a trace."""

@@ -9,11 +9,13 @@ and short reuse distances.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from bisect import bisect
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Iterator, List, Optional, Tuple
 
 from repro.common.rng import DEFAULT_SEED, make_rng
-from repro.syscalls.events import SyscallEvent, SyscallTrace, make_event
+from repro.syscalls.events import SyscallEvent, SyscallTrace, iter_runs, make_event
 from repro.workloads.model import ArgSetSpec, SyscallSpec, WorkloadSpec
 
 #: Synthetic text segment base for generated call-site PCs.
@@ -41,6 +43,27 @@ class _SyscallSampler:
     arg_weights: Tuple[float, ...]
     #: Preferred argument-set index per call site (locality anchor).
     preferred: Tuple[int, ...]
+    # Derived sampling state, precomputed so the per-event loop does no
+    # repeated weight accumulation (see ``iter_events``).
+    callsites: int = 1
+    stickiness: float = 0.0
+    #: ``random.choices`` internals, replicated: cumulative weights,
+    #: their float total, and the bisect ``hi`` bound.  Drawing with
+    #: ``bisect(cum, random() * total, 0, hi)`` consumes the RNG and
+    #: selects indices exactly as ``rng.choices(..., k=1)`` does.
+    cum_weights: List[float] = field(default_factory=list)
+    total_weight: float = 0.0
+    hi: int = 0
+    #: ``[site][set_index]`` -> reusable frozen event (filled lazily).
+    grid: List[List[Optional[SyscallEvent]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.callsites = self.spec.callsites
+        self.stickiness = self.spec.stickiness
+        self.cum_weights = list(accumulate(self.arg_weights))
+        self.total_weight = self.cum_weights[-1] + 0.0
+        self.hi = len(self.arg_sets) - 1
+        self.grid = [[None] * len(self.arg_sets) for _ in range(self.callsites)]
 
 
 class TraceGenerator:
@@ -51,8 +74,6 @@ class TraceGenerator:
         self._rng = make_rng(seed, f"trace:{workload.name}")
         self._samplers: List[_SyscallSampler] = []
         self._weights: List[float] = []
-        #: (sampler, arg set, site) -> reusable frozen event instance.
-        self._event_cache: Dict[Tuple[int, int, int], SyscallEvent] = {}
         for spec in workload.syscalls:
             pcs = tuple(
                 callsite_pc(workload.name, spec.name, i) for i in range(spec.callsites)
@@ -81,6 +102,14 @@ class TraceGenerator:
         """Generate *count* syscall events."""
         return SyscallTrace(self.iter_events(count))
 
+    def iter_runs(self, count: int) -> Iterator[Tuple[SyscallEvent, int]]:
+        """Stream *count* events as run-length-encoded ``(event, n)``
+        pairs.  Same RNG draw order as :meth:`iter_events`, so the
+        expansion is exactly the sequence :meth:`events` produces; the
+        identity check in the coalescer is nearly free because the
+        generator reuses frozen event instances."""
+        return iter_runs(self.iter_events(count))
+
     def iter_events(self, count: int) -> Iterator[SyscallEvent]:
         """Stream *count* syscall events lazily.
 
@@ -92,31 +121,39 @@ class TraceGenerator:
         event construction dominated generation time before.
         """
         rng = self._rng
+        rng_random = rng.random
+        rng_randrange = rng.randrange
         samplers = self._samplers
-        event_cache: Dict[Tuple[int, int, int], SyscallEvent] = self._event_cache
         chosen = rng.choices(range(len(samplers)), weights=self._weights, k=count)
         for sampler_index in chosen:
             sampler = samplers[sampler_index]
-            spec = sampler.spec
-            site = rng.randrange(spec.callsites) if spec.callsites > 1 else 0
-            if len(sampler.arg_sets) == 1:
+            site = (
+                rng_randrange(sampler.callsites) if sampler.callsites > 1 else 0
+            )
+            if sampler.hi == 0:
                 set_index = 0
-            elif rng.random() < spec.stickiness:
+            elif rng_random() < sampler.stickiness:
                 set_index = sampler.preferred[site]
             else:
-                set_index = rng.choices(
-                    range(len(sampler.arg_sets)), weights=sampler.arg_weights, k=1
-                )[0]
-            cache_key = (sampler_index, set_index, site)
-            event = event_cache.get(cache_key)
+                # Inlined rng.choices(range(n), weights=..., k=1)[0]:
+                # same single random() draw, same bisect over the same
+                # cumulative weights, so the stream is bit-identical.
+                set_index = bisect(
+                    sampler.cum_weights,
+                    rng_random() * sampler.total_weight,
+                    0,
+                    sampler.hi,
+                )
+            row = sampler.grid[site]
+            event = row[set_index]
             if event is None:
                 event = make_event(
-                    spec.name,
+                    sampler.spec.name,
                     sampler.arg_sets[set_index].values,
                     pc=sampler.pcs[site],
                     table=self.workload.table,
                 )
-                event_cache[cache_key] = event
+                row[set_index] = event
             yield event
 
 
