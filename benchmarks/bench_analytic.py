@@ -1,0 +1,280 @@
+"""Benchmark for the analytic steady-state backend (the third kernel tier).
+
+Measures —
+
+* ``fleet_stream`` — effective events/sec of the analytic tier on a
+  steady-state fleet stream: a :class:`repro.syscalls.events.RunTrace`
+  of multi-million-event runs driven through a Seccomp regime, where
+  exact histogram replay makes the cost independent of run length;
+* ``tiers`` — wall time and effective events/sec of one catalog
+  workload under hardware Draco per kernel tier (``analytic`` /
+  ``bulk`` / ``event``);
+* ``cold_suite`` — cold end-to-end wall time of the full experiment
+  registry at default event counts with the analytic backend on,
+  against the committed pre-analytic wall;
+
+and writes ``BENCH_analytic.json``.  ``--check`` compares measured
+rates against the committed baseline and fails on a >30% regression
+(the CI gate); ``--update`` refreshes the baseline in place.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analytic.py              # measure + write
+    PYTHONPATH=src python benchmarks/bench_analytic.py --check      # CI gate
+    PYTHONPATH=src python benchmarks/bench_analytic.py --update     # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_analytic.json"
+
+#: Allowed fractional events/sec regression before --check fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: Cold wall time of the full registry at default event counts (12000)
+#: with ``REPRO_ANALYTIC=0`` on the tree this benchmark landed on (same
+#: machine as the committed baseline); kept so the JSON shows the
+#: end-to-end speedup attributable to the analytic tier alone.
+PRE_ANALYTIC_SUITE_WALL_S = None  # measured at runtime unless --skip-baseline-suite
+
+
+def _fleet_stream(distinct: int, run_length: int):
+    """A steady-state fleet stream: *distinct* event values repeating in
+    round-robin runs of *run_length* events each."""
+    from repro.syscalls.events import RunTrace, make_event
+
+    events = [make_event("read", (3 + i, 4096), pc=0x100 + i) for i in range(distinct)]
+    # Two passes so every value's second run replays from steady state.
+    runs = [(e, run_length) for e in events] * 2
+    return RunTrace(runs)
+
+
+def bench_fleet_stream(distinct: int, run_length: int, repeats: int) -> dict:
+    """Effective events/sec of the analytic tier on the fleet stream."""
+    from repro.kernel.regimes import SeccompRegime
+    from repro.kernel.simulator import run_trace
+    from repro.seccomp.toolkit import generate_bundle
+    from repro.syscalls.events import SyscallTrace, make_event
+
+    trace = _fleet_stream(distinct, run_length)
+    profile_trace = SyscallTrace(
+        [make_event("read", (3 + i, 4096)) for i in range(distinct)]
+    )
+    bundle = generate_bundle(profile_trace, "fleet")
+    best = 0.0
+    for _ in range(repeats):
+        regime = SeccompRegime(bundle.complete, name="seccomp-fleet")
+        start = time.perf_counter()
+        result = run_trace(trace, regime, 100.0, 150.0, workload_name="fleet")
+        elapsed = time.perf_counter() - start
+        best = max(best, len(trace) / elapsed)
+    assert result.analytic is not None and result.analytic.mode == "exact"
+    return {
+        "distinct_values": distinct,
+        "run_length": run_length,
+        "total_events": len(trace),
+        "effective_events_per_sec": round(best, 1),
+    }
+
+
+def bench_tiers(workload: str, events: int, seed: int, repeats: int) -> dict:
+    """Wall time of one hardware-Draco run per kernel tier."""
+    from repro.experiments.runner import get_context
+    from repro.kernel.simulator import run_trace
+
+    ctx = get_context(workload, events=events, seed=seed)
+    out = {}
+    for tier, env in (
+        ("analytic", {}),
+        ("bulk", {"REPRO_ANALYTIC": "0"}),
+        ("event", {"REPRO_ANALYTIC": "0", "REPRO_BULK": "0"}),
+    ):
+        saved = {k: os.environ.get(k) for k in env}
+        os.environ.update(env)
+        try:
+            best = None
+            for _ in range(repeats):
+                regime = ctx.make_regime("draco-hw-complete")
+                start = time.perf_counter()
+                run_trace(
+                    ctx.trace,
+                    regime,
+                    work_cycles_per_syscall=ctx.work_cycles,
+                    syscall_base_cycles=ctx.syscall_base_cycles,
+                    workload_name=workload,
+                )
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        out[tier] = {
+            "wall_ms": round(best * 1000, 1),
+            "events_per_sec": round(events / best, 1),
+        }
+    return out
+
+
+def bench_cold_suite(analytic: bool) -> dict:
+    """Cold wall time of every registry experiment at default event
+    counts.  Runs in a fresh subprocess so *nothing* is warm — no result
+    cache, no compiled-program or outcome memos, no trace generators —
+    which is the number a first ``repro.experiments`` invocation pays."""
+    import subprocess
+
+    env = dict(os.environ)
+    env["REPRO_CACHE_DISABLE"] = "1"
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    if not analytic:
+        env["REPRO_ANALYTIC"] = "0"
+    else:
+        env.pop("REPRO_ANALYTIC", None)
+    script = (
+        "import time\n"
+        "from repro.experiments.registry import REGISTRY\n"
+        "start = time.perf_counter()\n"
+        "for entry in REGISTRY:\n"
+        "    entry.run()\n"
+        "print(time.perf_counter() - start)\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True,
+        check=True,
+    )
+    from repro.experiments.registry import REGISTRY
+
+    return {
+        "experiments": len(REGISTRY),
+        "analytic": analytic,
+        "wall_s": round(float(out.stdout.strip().splitlines()[-1]), 2),
+    }
+
+
+def measure(args) -> dict:
+    payload = {
+        "workload": args.workload,
+        "events": args.events,
+        "seed": args.seed,
+        "fleet_stream": bench_fleet_stream(
+            args.fleet_distinct, args.fleet_run_length, args.repeats
+        ),
+        "tiers": bench_tiers(args.workload, args.events, args.seed, args.repeats),
+    }
+    tiers = payload["tiers"]
+    payload["speedup"] = {
+        "analytic_vs_event": round(
+            tiers["event"]["wall_ms"] / tiers["analytic"]["wall_ms"], 2
+        ),
+        "analytic_vs_bulk": round(
+            tiers["bulk"]["wall_ms"] / tiers["analytic"]["wall_ms"], 2
+        ),
+    }
+    if not args.skip_suite:
+        # The exact-tier suite first, so the analytic run below is not
+        # flattered by pre-warmed CPU caches relative to it.
+        baseline_suite = bench_cold_suite(analytic=False)
+        suite = bench_cold_suite(analytic=True)
+        suite["pre_analytic_wall_s"] = baseline_suite["wall_s"]
+        suite["speedup"] = round(baseline_suite["wall_s"] / suite["wall_s"], 2)
+        payload["cold_suite"] = suite
+    return payload
+
+
+def check_regression(measured: dict, baseline: dict, tolerance: float) -> int:
+    failures = []
+    checks = [
+        (
+            "fleet_stream",
+            measured["fleet_stream"]["effective_events_per_sec"],
+            baseline.get("fleet_stream", {}).get("effective_events_per_sec"),
+        )
+    ]
+    for tier in ("analytic", "bulk", "event"):
+        checks.append(
+            (
+                f"tiers.{tier}",
+                measured["tiers"][tier]["events_per_sec"],
+                baseline.get("tiers", {}).get(tier, {}).get("events_per_sec"),
+            )
+        )
+    for name, current, reference in checks:
+        if reference is None:
+            failures.append(f"{name}: missing from baseline")
+            continue
+        floor = reference * (1.0 - tolerance)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"{name:16s} {current:15.1f} ev/s  (baseline {reference:.1f}, "
+            f"floor {floor:.1f})  {status}"
+        )
+        if current < floor:
+            failures.append(
+                f"{name}: {current:.1f} ev/s < {floor:.1f} "
+                f"(baseline {reference:.1f}, tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("events/sec within tolerance of the committed baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="nginx")
+    parser.add_argument("--events", type=int, default=12_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    # 256 distinct values amortize the per-run fixed costs (plan, result
+    # build) enough that the rate is stable run-to-run; at 32 the whole
+    # measurement is a fraction of a millisecond and too noisy to gate on.
+    parser.add_argument("--fleet-distinct", type=int, default=256)
+    parser.add_argument("--fleet-run-length", type=int, default=4_000_000)
+    parser.add_argument(
+        "--skip-suite", action="store_true",
+        help="skip the two cold-suite timings (CI uses the rate checks only)",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measurement to the baseline file",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    measured = measure(args)
+    print(json.dumps(measured, indent=2))
+
+    target = args.output or (args.baseline if args.update else None)
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"wrote {target}")
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError):
+            print(f"no readable baseline at {args.baseline}; failing --check")
+            return 1
+        return check_regression(measured, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,5 +24,24 @@ BULK_ENV = "REPRO_BULK"
 
 
 def bulk_enabled() -> bool:
-    """True unless ``REPRO_BULK`` disables the bulk fast path."""
+    """True unless ``REPRO_BULK`` disables the bulk fast path.
+
+    Unset, or any value other than ``0``/``off``/``false``/``no``
+    (case-insensitive), leaves the fast path on:
+
+    >>> os.environ.pop("REPRO_BULK", None) and None
+    >>> bulk_enabled()
+    True
+    >>> os.environ["REPRO_BULK"] = "0"
+    >>> bulk_enabled()
+    False
+    >>> os.environ["REPRO_BULK"] = "off"
+    >>> bulk_enabled()
+    False
+    >>> os.environ["REPRO_BULK"] = "1"
+    >>> bulk_enabled()
+    True
+    >>> os.environ.pop("REPRO_BULK")
+    '1'
+    """
     return os.environ.get(BULK_ENV, "1").lower() not in ("0", "off", "false", "no")

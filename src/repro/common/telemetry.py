@@ -56,6 +56,13 @@ class SimulationCounters:
     regime_structures: Dict[str, Dict[str, Dict[str, float]]] = field(
         default_factory=dict
     )
+    #: Analytic-backend provenance: traces whose results were
+    #: *extrapolated* from a sample rather than simulated exactly, the
+    #: events those results account for beyond what was simulated, and
+    #: the worst split-half error estimate among them.
+    derived_traces: int = 0
+    events_extrapolated: int = 0
+    max_error_estimate: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         flows: Dict[str, Any] = {}
@@ -94,6 +101,10 @@ class SimulationCounters:
             payload["flows"] = flows
         if structures:
             payload["structures"] = structures
+        if self.derived_traces:
+            payload["derived_traces"] = self.derived_traces
+            payload["events_extrapolated"] = self.events_extrapolated
+            payload["max_error_estimate"] = round(self.max_error_estimate, 6)
         return payload
 
 
@@ -127,6 +138,9 @@ def record_simulation(
     flow_cycles: Optional[Mapping[str, float]] = None,
     structures: Optional[Mapping[str, Any]] = None,
     runs_coalesced: int = 0,
+    derived: bool = False,
+    events_extrapolated: int = 0,
+    error_estimate: float = 0.0,
 ) -> None:
     """Account one simulated trace (called by the kernel simulator).
 
@@ -135,8 +149,16 @@ def record_simulation(
     ``flow_counts``/``flow_cycles`` are the trace's per-flow ledger and
     ``structures`` its per-structure counters; all three are optional so
     external callers of the simulator stay source-compatible.
+    ``derived`` marks an analytic sampled run: ``events_extrapolated``
+    of its events were accounted without being simulated, with
+    ``error_estimate`` as its split-half error bound.
     """
     _COUNTERS.traces_run += 1
+    if derived:
+        _COUNTERS.derived_traces += 1
+        _COUNTERS.events_extrapolated += events_extrapolated
+        if error_estimate > _COUNTERS.max_error_estimate:
+            _COUNTERS.max_error_estimate = error_estimate
     _COUNTERS.events_simulated += events
     _COUNTERS.warmup_events += warmup_events
     _COUNTERS.runs_coalesced += runs_coalesced
@@ -185,6 +207,11 @@ def merge_simulations(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
     if "mean_run_length" in merged:
         merged["mean_run_length"] = (
             round(merged.get("events_simulated", 0) / runs, 3) if runs else 0.0
+        )
+    # A worst-case bound merges by max, not by sum.
+    if "max_error_estimate" in merged:
+        merged["max_error_estimate"] = max(
+            (part.get("max_error_estimate", 0.0) for part in parts), default=0.0
         )
     return merged
 
@@ -276,6 +303,18 @@ class RunReport:
 
     def events_simulated(self) -> int:
         return sum(r.simulation.get("events_simulated", 0) for r in self.records)
+
+    def derived_traces(self) -> int:
+        return sum(r.simulation.get("derived_traces", 0) for r in self.records)
+
+    def events_extrapolated(self) -> int:
+        return sum(r.simulation.get("events_extrapolated", 0) for r in self.records)
+
+    def max_error_estimate(self) -> float:
+        return max(
+            (r.simulation.get("max_error_estimate", 0.0) for r in self.records),
+            default=0.0,
+        )
 
     def runs_coalesced(self) -> int:
         return sum(r.simulation.get("runs_coalesced", 0) for r in self.records)
@@ -435,6 +474,14 @@ class RunReport:
             f"(jobs={self.jobs}, cache: {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {len(self.failures)} failed)"
         )
+        derived = self.derived_traces()
+        if derived:
+            lines.append(
+                f"analytic: {derived} derived trace(s) — "
+                f"{self.events_extrapolated()} events accounted by sampled "
+                f"extrapolation (REPRO_ANALYTIC=1), max split-half error "
+                f"{self.max_error_estimate():.2%}"
+            )
         when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.started_at))
         lines.append(f"started: {when}  code: {self.code_fingerprint or '?'}")
         for record in self.failures:

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from repro.bpf.compile import COMPILER_VERSION
+from repro.common.analytic import ANALYTIC_VERSION, analytic_enabled
 from repro.kernel.simulator import SIM_KERNEL_VERSION
 from repro.experiments.results import ExperimentResult
 
@@ -122,6 +123,10 @@ class ResultCache:
         # or summation-order changes alter result floats without any
         # experiment parameter changing.
         payload["sim_kernel"] = SIM_KERNEL_VERSION
+        # The analytic backend extrapolates some hardware-Draco results,
+        # so its results are keyed separately from exact-kernel results
+        # (0 when disabled) and on its own numerical-contract version.
+        payload["analytic"] = ANALYTIC_VERSION if analytic_enabled() else 0
         return params_digest(payload)
 
     def result_path(self, experiment_id: str, digest: str) -> Path:

@@ -1,10 +1,16 @@
 """Extension analysis: Table I flow occupancy across the workloads.
 
 The paper defines the six execution flows but does not report how often
-each occurs in practice.  This experiment runs every workload under
-hardware Draco (syscall-complete) and reports the flow distribution —
-making quantitative the claim that "the most frequent" case is the
-all-hit fast path.
+each occurs in practice.  This experiment reads the flow distribution of
+every workload under hardware Draco (syscall-complete) — making
+quantitative the claim that "the most frequent" case is the all-hit
+fast path.
+
+The distribution comes from the shared ``draco-hw-complete``
+evaluation's per-flow ledger (the same evaluation Figures 12 and 13
+consume), over the measured window.  On sampled (``derived``) runs the
+counts are extrapolated projections whose conservation is still exact —
+see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -15,7 +21,6 @@ from repro.common.rng import DEFAULT_SEED
 from repro.core.flows import Flow
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import get_context
-from repro.kernel.simulator import run_trace
 from repro.workloads.catalog import CATALOG
 
 FLOW_ORDER = (
@@ -43,18 +48,16 @@ def run(
         if events is not None:
             kwargs["events"] = events
         ctx = get_context(name, **kwargs)
-        regime = ctx.make_regime("draco-hw-complete")
-        run_trace(
-            ctx.trace, regime, ctx.work_cycles, ctx.syscall_base_cycles,
-            workload_name=name,
+        result = ctx.evaluate("draco-hw-complete")
+        counts = {
+            flow: result.flow_counts.get(flow.ledger_key, 0) for flow in FLOW_ORDER
+        }
+        total = max(sum(counts.values()), 1)
+        fractions = [counts[flow] / total for flow in FLOW_ORDER]
+        fast = sum(count for flow, count in counts.items() if flow.is_fast) / total
+        rows.append(
+            (name,) + tuple(round(f, 4) for f in fractions) + (round(fast, 4),)
         )
-        stats = regime.draco.stats
-        total = max(stats.syscalls, 1)
-        fractions = [stats.flows.get(flow, 0) / total for flow in FLOW_ORDER]
-        fast = sum(
-            count for flow, count in stats.flows.items() if flow.is_fast
-        ) / total
-        rows.append((name,) + tuple(round(f, 4) for f in fractions) + (round(fast, 4),))
     return ExperimentResult(
         experiment_id="Flow mix",
         title="Table I flow occupancy under hardware Draco (syscall-complete)",
@@ -63,6 +66,7 @@ def run(
         notes=(
             "fast flows: 1, 3, 5, and SPT-only; slow: 2, 4, 6, OS checks",
             "the paper assumes flow 1 dominates ('which we assume is the most frequent one')",
+            "fractions are over the measured window of the shared draco-hw-complete evaluation",
         ),
     )
 

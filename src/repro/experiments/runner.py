@@ -99,6 +99,7 @@ _RUNTIME_ENV_KNOBS = (
     "REPRO_FASTPATH",
     "REPRO_LEDGER",
     "REPRO_LEDGER_AUDIT",
+    "REPRO_ANALYTIC",
 )
 
 
@@ -274,6 +275,11 @@ def calibrate_work_cycles(
                 "code": result_cache.code_fingerprint(),
                 "bpf_compiler": result_cache.COMPILER_VERSION,
                 "sim_kernel": result_cache.SIM_KERNEL_VERSION,
+                # No "analytic" key on purpose: the probe regime below is
+                # seccomp, which the analytic backend replays exactly
+                # (byte-identical by contract, enforced by the
+                # differential tests), so the solved W is shared across
+                # REPRO_ANALYTIC settings.
             }
         )
         cached = result_cache.ResultCache().load_calibration(digest)

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import analytic as analytic_backend
 from repro.common import ledger
-from repro.common.bulk import bulk_enabled
 from repro.common.errors import ConfigError
 from repro.cpu.cache import SetAssociativeCache
 from repro.cpu.hierarchy import MemoryHierarchy
@@ -111,13 +111,22 @@ class MultiCoreSystem:
             )
         return executed
 
-    def run(self, strict: bool = True) -> MultiCoreResult:
+    def run(
+        self, strict: bool = True, backend: Optional[str] = None
+    ) -> MultiCoreResult:
         """Interleave quanta round-robin across cores until all traces
-        complete."""
+        complete.
+
+        *backend* overrides the kernel tier (``"analytic"``, ``"bulk"``
+        or ``"event"``); ``None`` follows the environment.  As in the
+        single-core scheduler, ``"analytic"`` degrades to the exact RLE
+        bulk kernel — every quantum ends in exactly the transient the
+        analytic tier excludes.
+        """
         if not any(self._run_queues):
             raise ConfigError("no processes assigned")
         total = 0
-        bulk = bulk_enabled()
+        bulk = analytic_backend.resolve_backend(backend) != "event"
         cursors = [0] * len(self.cores)  # per-core round-robin position
         while any(not p.done for p in self.processes):
             progressed = False

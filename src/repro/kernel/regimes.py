@@ -18,8 +18,10 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common import analytic as analytic_backend
 from repro.common import ledger as common_ledger
 from repro.common.bulk import bulk_enabled
+from repro.common.errors import SimulationError
 from repro.core.hardware import HardwareDraco
 from repro.core.software import (
     CheckOutcome,
@@ -88,6 +90,32 @@ class CheckingRegime(abc.ABC):
         """Per-structure hit/miss/evict counters, or ``None``."""
         return None
 
+    def analytic_plan(
+        self, windows: "analytic_backend.TraceWindows", work_cycles: float = 0.0
+    ) -> Optional["analytic_backend.AnalyticPlan"]:
+        """How the analytic backend may drive this regime, or ``None``
+        to decline (the simulator then falls back to the exact RLE bulk
+        or per-event kernels).
+
+        Order-independent regimes with a no-op :meth:`advance` return
+        :data:`repro.common.analytic.EXACT_PLAN` — histogram replay is
+        value-identical for them.  History-dependent regimes may return
+        a sampled plan for long traces, or ``None``.  The base regime
+        declines: analytic execution is strictly opt-in per regime.
+        """
+        return None
+
+    def analytic_verify(self) -> None:
+        """Post-run hook for exact analytic replays: raise
+        :class:`~repro.common.errors.SimulationError` if a precondition
+        the plan relied on turned out not to hold."""
+
+    def analytic_context_switch(self) -> None:
+        """Fire one context switch by hand (the sampled plan's transient
+        segment).  Only regimes that return plans with
+        ``transient_repeats > 0`` need a real implementation; the base
+        regime has no quantum timer, so this is a no-op."""
+
 
 class InsecureRegime(CheckingRegime):
     """Seccomp disabled — the paper's normalisation baseline."""
@@ -103,14 +131,28 @@ class InsecureRegime(CheckingRegime):
         self._ledger.record(common_ledger.FLOW_NONE, 0.0)
         return self._outcome
 
+    def _pristine(self) -> bool:
+        # The bulk shortcut and the exact plan both bake in what
+        # check() returns; a subclass that overrides check() must get
+        # the literal per-event semantics instead.
+        return type(self).check is InsecureRegime.check
+
     def check_run(
         self, event: SyscallEvent, count: int, work_cycles: float = 0.0
     ) -> List[Tuple[CheckOutcome, int]]:
         # No checking and no advance() side effects: a run collapses to
         # one ledger bump (count is an int and cycles are 0.0, so the
         # bulk update is exact).
+        if not self._pristine():
+            return super().check_run(event, count, work_cycles)
         self._ledger.record_bulk(common_ledger.FLOW_NONE, 0.0, count)
         return [(self._outcome, count)]
+
+    def analytic_plan(self, windows, work_cycles: float = 0.0):
+        # No state at all: trivially order-independent.
+        if not self._pristine():
+            return None
+        return analytic_backend.EXACT_PLAN
 
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self._ledger.snapshot()
@@ -134,6 +176,37 @@ def _programs_for(profile: SeccompProfile, compiler: str):
         _PROGRAM_MEMO.clear()
     _PROGRAM_MEMO[key] = (profile, programs)
     return programs
+
+
+#: Shared outcome memos: a filter decision — and therefore the whole
+#: CheckOutcome — is a pure function of (profile, times, compiler,
+#: use_jit, costs) and the masked argument bytes, while regimes are
+#: rebuilt fresh for every evaluation.  Sharing the memo across regime
+#: instances means each distinct event value runs the filter once per
+#: process rather than once per evaluation.  Keyed like _PROGRAM_MEMO,
+#: with strong references so ids cannot be recycled.
+_OUTCOME_MEMO: Dict[tuple, tuple] = {}
+_OUTCOME_MEMO_LIMIT = 256
+
+
+def _shared_outcome_memo(
+    profile: SeccompProfile,
+    times: int,
+    compiler: str,
+    use_jit: bool,
+    costs: SoftwareCostParams,
+    kind: str,
+    fastpath: Optional[bool] = None,
+) -> Dict[object, CheckOutcome]:
+    key = (kind, id(profile), times, compiler, use_jit, id(costs), fastpath)
+    hit = _OUTCOME_MEMO.get(key)
+    if hit is not None and hit[0] is profile and hit[1] is costs:
+        return hit[2]
+    memo: Dict[object, CheckOutcome] = {}
+    if len(_OUTCOME_MEMO) >= _OUTCOME_MEMO_LIMIT:
+        _OUTCOME_MEMO.clear()
+    _OUTCOME_MEMO[key] = (profile, costs, memo)
+    return memo
 
 
 def _attach(
@@ -170,7 +243,11 @@ class SeccompRegime(CheckingRegime):
         self.module = _attach(profile, times, compiler, fastpath=fastpath)
         # Outcomes are pure functions of the module's decision, which is
         # itself keyed on the masked argument bytes — memoize the whole
-        # CheckOutcome so repeat syscalls are a single dict probe.
+        # CheckOutcome so repeat syscalls are a single dict probe.  The
+        # memo stays per-instance (unlike the bitmap regime's) because
+        # this regime exposes the module's raw execution counters via
+        # structure_stats(): sharing would make those depend on what ran
+        # earlier in the process and break RunResult byte-identity.
         self._outcome_memo: Dict[object, CheckOutcome] = {}
         self._ledger = common_ledger.FlowLedger()
         self._bulk = bulk_enabled()
@@ -232,6 +309,11 @@ class SeccompRegime(CheckingRegime):
         _merge_segment(segments, cached, remaining)
         return segments
 
+    def analytic_plan(self, windows, work_cycles: float = 0.0):
+        # A filter decision is a pure function of the event value and
+        # advance() is a no-op, so outcomes are order-independent.
+        return analytic_backend.EXACT_PLAN
+
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self._ledger.snapshot()
 
@@ -271,6 +353,29 @@ class DracoSwRegime(CheckingRegime):
         # advance() is a no-op for the software regime, so the run
         # delegates wholly to the checker's steady-state bulk path.
         return self.draco.check_bulk(event, count)
+
+    def analytic_plan(self, windows, work_cycles: float = 0.0):
+        """Exact, under one precondition: the VAT suffers no cuckoo
+        evictions, making it an insert-only value-keyed map whose
+        outcomes do not depend on event interleaving.  That holds by
+        construction — the OS sizes each per-syscall table at twice the
+        profile's argument-set count (load factor <= 0.5) — and
+        :meth:`analytic_verify` fails the run loudly if it ever breaks.
+        """
+        self._analytic_evictions_before = self.draco.tables.vat.structure_stats()[
+            "evictions"
+        ]
+        return analytic_backend.EXACT_PLAN
+
+    def analytic_verify(self) -> None:
+        evictions = self.draco.tables.vat.structure_stats()["evictions"]
+        before = getattr(self, "_analytic_evictions_before", 0)
+        if evictions != before:
+            raise SimulationError(
+                f"{self.name}: VAT evicted {evictions - before} entries during "
+                "an analytic exact replay — the no-eviction precondition is "
+                "violated; rerun with REPRO_ANALYTIC=0"
+            )
 
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self.draco.stats.ledger()
@@ -402,12 +507,39 @@ class DracoHwRegime(CheckingRegime):
                 self._cycles_since_switch = residual
         return segments
 
+    def analytic_plan(self, windows, work_cycles: float = 0.0):
+        """Hardware Draco is history-dependent (STB retraining, SLB
+        conflicts, hierarchy pollution), so there is no exact closed
+        form; long steady-state traces use the sampled-extrapolation
+        plan instead.  The quantum timer accumulates exactly
+        ``work_cycles`` per event, so the context-switch period (in
+        events) is handed to the planner, which carves each expiry's
+        re-warm transient into its own scaled segment — or declines when
+        the simulated prefix cannot fit inside one quantum.  Declined
+        outright mid-quantum (a fresh regime instance starts at zero)."""
+        if self._cycles_since_switch:
+            return None
+        period = None
+        if self._cs_interval is not None and work_cycles > 0.0:
+            period = self._cs_interval / work_cycles
+        return analytic_backend.plan_sampled_window(
+            windows, switch_period_events=period
+        )
+
+    def analytic_context_switch(self) -> None:
+        self._cycles_since_switch = 0.0
+        self.on_context_switch()
+
     def ledger_snapshot(self) -> common_ledger.FlowLedger:
         return self.draco.stats.ledger()
 
     def structure_stats(self) -> Dict[str, Any]:
         stats = self.draco.structure_stats()
         stats["seccomp"] = self.draco.seccomp.execution_stats()
+        stats["counters"] = {
+            "syscalls": self.draco.stats.syscalls,
+            "os_invocations": self.draco.stats.os_invocations,
+        }
         return stats
 
     def advance(self, work_cycles: float) -> None:

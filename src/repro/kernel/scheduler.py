@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.common import analytic as analytic_backend
 from repro.common import ledger
-from repro.common.bulk import bulk_enabled
 from repro.common.errors import ConfigError, SimulationError
 from repro.core.hardware import HardwareDraco
 from repro.core.software import build_process_tables
@@ -271,11 +271,21 @@ class RoundRobinScheduler:
         self.quantum = quantum_syscalls
         self.core = core if core is not None else DracoCore()
 
-    def run(self, strict: bool = True) -> ScheduleResult:
-        """Interleave every process's trace to completion."""
+    def run(
+        self, strict: bool = True, backend: Optional[str] = None
+    ) -> ScheduleResult:
+        """Interleave every process's trace to completion.
+
+        *backend* is the kernel-tier override (``"analytic"``,
+        ``"bulk"`` or ``"event"``); ``None`` follows the environment
+        (see :func:`repro.common.analytic.resolve_backend`).  Quantum
+        boundaries are exactly the transients the analytic tier
+        excludes, so ``"analytic"`` degrades to the exact RLE bulk
+        kernel here.
+        """
         total = 0
         timelines = ledger.enabled()
-        bulk = bulk_enabled()
+        bulk = analytic_backend.resolve_backend(backend) != "event"
         while any(not p.done for p in self.processes):
             for process in self.processes:
                 if process.done:

@@ -15,15 +15,36 @@ once against the paper's Figure 2 Seccomp bars — see
 A warm-up fraction is excluded from the measured statistics, mirroring
 the paper's methodology of warming architectural state before measuring
 (Section X-C).
+
+Three execution tiers drive the trace (see ``docs/PERFORMANCE.md``):
+
+* **per-event** (``REPRO_BULK=0``) — the literal ``[check; advance]``
+  loop;
+* **RLE bulk** (``REPRO_BULK=1``, default) — run-length-encoded
+  consumption with regime steady-state shortcuts, byte-identical to
+  per-event;
+* **analytic** (``REPRO_ANALYTIC=1``, default) — whole-window replay
+  over the trace's distinct-event histogram (``repro.common.analytic``).
+  For order-independent regimes the replay is value-identical to the
+  other tiers; for hardware Draco on long traces a shortened warm-up
+  plus a measured sample is extrapolated, flagged ``derived`` and
+  carrying an explicit error estimate.
+
+Regimes opt into the analytic tier via
+:meth:`repro.kernel.regimes.CheckingRegime.analytic_plan`; anything
+without a plan falls back to the exact kernels, so transients, warm-up
+windows and scheduler quantum boundaries are always simulated exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import chain
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
+from repro.common import analytic as analytic_backend
 from repro.common import ledger, telemetry
+from repro.common.analytic import AnalyticInfo, AnalyticPlan, TraceWindows
 from repro.common.errors import SimulationError
 from repro.core.software import CheckOutcome
 from repro.kernel.regimes import CheckingRegime
@@ -58,13 +79,419 @@ class RunResult:
     flow_cycles: Dict[str, float] = field(default_factory=dict)
     total_check_cycles: float = 0.0
     warmup_events: int = 0
+    #: Per-structure counters (numeric scalars only; timelines and other
+    #: observability payloads are stripped) captured by the analytic
+    #: backend when the ledger is enabled.  Extrapolated — and flagged
+    #: via :attr:`analytic` — on sampled runs; ``None`` for per-event
+    #: and bulk runs, whose consumers read the regime directly.
+    structures: Optional[Dict[str, Dict[str, float]]] = None
+    #: Provenance of the analytic backend, or ``None`` when the exact
+    #: kernels ran.
+    analytic: Optional[AnalyticInfo] = None
 
     @property
     def overhead_percent(self) -> float:
         return (self.normalized_time - 1.0) * 100.0
 
+    @property
+    def derived(self) -> bool:
+        """True when the result was extrapolated from a sample rather
+        than measured exactly (see :class:`AnalyticInfo`)."""
+        return self.analytic is not None and self.analytic.derived
+
     def flow_ledger(self) -> ledger.FlowLedger:
         return ledger.FlowLedger(self.flow_counts, self.flow_cycles)
+
+
+def _deny(regime: CheckingRegime, event: SyscallEvent) -> None:
+    raise SimulationError(
+        f"{regime.name} denied {event.sid} {event.args} — the profile "
+        "does not cover the workload (coverage bug)"
+    )
+
+
+def _expand_groups(
+    groups: Dict[CheckOutcome, int],
+) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, float]]:
+    """Expand outcome-value groups into path and flow tallies.
+
+    Within each flow bucket the accumulation order is the groups'
+    insertion (first-seen) order, which every tier produces identically
+    per flow — that is what keeps the per-flow float sums byte-identical
+    across backends (dict *key* order may differ; comparisons must be
+    order-insensitive, as dict equality and sorted-key JSON both are).
+    """
+    paths: Dict[str, int] = {}
+    flow_counts: Dict[str, int] = {}
+    flow_cycles: Dict[str, float] = {}
+    for outcome, grouped in groups.items():
+        path = outcome.path
+        paths[path] = paths.get(path, 0) + grouped
+        flow = outcome.flow or path
+        flow_counts[flow] = flow_counts.get(flow, 0) + grouped
+        flow_cycles[flow] = flow_cycles.get(flow, 0.0) + outcome.cycles * grouped
+    return paths, flow_counts, flow_cycles
+
+
+def _build_result(
+    *,
+    regime: CheckingRegime,
+    workload_name: str,
+    work_cycles_per_syscall: float,
+    syscall_base_cycles: float,
+    groups: Dict[CheckOutcome, int],
+    measured: int,
+    warmed: int,
+    runs_coalesced: int,
+    audits: bool,
+    regime_before,
+    cross_audit: bool,
+    structures: Optional[Dict[str, Dict[str, float]]],
+    structures_telemetry: Optional[Dict[str, Any]],
+    analytic_info: Optional[AnalyticInfo],
+) -> RunResult:
+    """Common tail of every tier: expand groups, derive the totals,
+    audit conservation, record telemetry, freeze the result."""
+    paths, flow_counts, flow_cycles = _expand_groups(groups)
+    run_ledger = ledger.FlowLedger(flow_counts, flow_cycles)
+    # The total is *derived* from the per-flow buckets (sorted-key sum),
+    # so conservation holds exactly by construction; the audits below
+    # then cross-check the counts against the events measured and the
+    # whole ledger against the regime's own independent accounting.
+    total_check = run_ledger.total_cycles()
+    mean_check = total_check / measured
+    baseline = work_cycles_per_syscall + syscall_base_cycles
+    normalized = (baseline + mean_check) / baseline
+
+    if audits:
+        scope = f"{workload_name or '?'}/{regime.name}"
+        run_ledger.audit_totals(measured, total_check, scope=scope)
+        # Sampled runs scale their buckets to the full window, so the
+        # regime's own ledger (which only saw the sample) is no longer
+        # the conservation reference — the cross-audit is skipped, and
+        # the result is flagged ``derived`` instead.
+        if cross_audit and regime_before is not None:
+            regime_after = regime.ledger_snapshot()
+            if regime_after is not None:
+                run_ledger.audit_against(regime_before, regime_after, scope=scope)
+
+    derived = analytic_info is not None and analytic_info.derived
+    telemetry.record_simulation(
+        regime=regime.name,
+        events=measured,
+        check_cycles=total_check,
+        total_cycles=measured * baseline + total_check,
+        warmup_events=warmed,
+        flow_counts=flow_counts,
+        flow_cycles=flow_cycles,
+        structures=structures_telemetry,
+        runs_coalesced=runs_coalesced,
+        derived=derived,
+        events_extrapolated=(
+            measured - analytic_info.events_simulated if derived else 0
+        ),
+        error_estimate=(
+            analytic_info.error_estimate or 0.0 if derived else 0.0
+        ),
+    )
+    return RunResult(
+        workload=workload_name,
+        regime=regime.name,
+        events_measured=measured,
+        work_cycles_per_syscall=work_cycles_per_syscall,
+        syscall_base_cycles=syscall_base_cycles,
+        mean_check_cycles=mean_check,
+        normalized_time=normalized,
+        path_counts=paths,
+        flow_counts=flow_counts,
+        flow_cycles=flow_cycles,
+        total_check_cycles=total_check,
+        warmup_events=warmed,
+        structures=structures,
+        analytic=analytic_info,
+    )
+
+
+def _run_exact_window(
+    windows: TraceWindows,
+    regime: CheckingRegime,
+    work_cycles_per_syscall: float,
+    syscall_base_cycles: float,
+    workload_name: str,
+    strict: bool,
+) -> RunResult:
+    """Analytic exact tier: replay the distinct-event histograms.
+
+    Sound only for regimes whose plan is :data:`~repro.common.analytic.
+    EXACT_PLAN` — order-independent checks and a no-op ``advance()`` —
+    where per-value first-occurrence order (which the histograms
+    preserve) fully determines every outcome.  The produced result is
+    value-identical to the per-event and bulk tiers.
+    """
+    check_run = regime.check_run
+    for event, count in windows.warm:
+        for outcome, _ in check_run(event, count, work_cycles_per_syscall):
+            if strict and not outcome.allowed:
+                _deny(regime, event)
+
+    audits = ledger.audits_enabled()
+    regime_before = regime.ledger_snapshot() if audits else None
+
+    groups: Dict[CheckOutcome, int] = {}
+    groups_get = groups.get
+    measured = 0
+    for event, count in windows.measured:
+        for outcome, seg in check_run(event, count, work_cycles_per_syscall):
+            grouped = groups_get(outcome)
+            if grouped is None:
+                if strict and not outcome.allowed:
+                    _deny(regime, event)
+                groups[outcome] = seg
+            else:
+                groups[outcome] = grouped + seg
+        measured += count
+
+    regime.analytic_verify()
+    raw_stats = regime.structure_stats() if ledger.enabled() else None
+    return _build_result(
+        regime=regime,
+        workload_name=workload_name,
+        work_cycles_per_syscall=work_cycles_per_syscall,
+        syscall_base_cycles=syscall_base_cycles,
+        groups=groups,
+        measured=measured,
+        warmed=windows.warmup,
+        runs_coalesced=len(windows.measured),
+        audits=audits,
+        regime_before=regime_before,
+        cross_audit=True,
+        structures=(
+            analytic_backend.sanitize_structures(raw_stats)
+            if raw_stats is not None
+            else None
+        ),
+        structures_telemetry=raw_stats,
+        analytic_info=AnalyticInfo(
+            mode="exact",
+            events_simulated=measured,
+            events_accounted=measured,
+            scale=1.0,
+        ),
+    )
+
+
+def _run_sampled_window(
+    trace,
+    windows: TraceWindows,
+    plan: AnalyticPlan,
+    regime: CheckingRegime,
+    work_cycles_per_syscall: float,
+    syscall_base_cycles: float,
+    workload_name: str,
+    strict: bool,
+) -> RunResult:
+    """Analytic sampled tier for history-dependent regimes.
+
+    Simulates the trace prefix exactly — ``plan.warm_events`` of warm-up
+    plus ``plan.sample_events`` of measurement — then models the full
+    measured window as ``C`` cold first-occurrence checks (``C`` is
+    known exactly from the histogram) plus ``T - C`` steady-mix checks
+    scaled from the sample by largest-remainder rounding, so the flow
+    counts sum to the window exactly and ``audit_totals`` still holds.
+
+    When the plan carries a transient segment (``transient_repeats > 0``)
+    the quantum timer expires inside the measured window: the simulator
+    fires one context switch by hand, simulates ``transient_events`` of
+    re-warm, and scales that segment by the (exactly-known) expiry
+    count, carving it out of the steady-mix target.
+
+    Structure counters are projected onto the full window; the result is
+    flagged ``derived`` with a split-half error estimate.
+    """
+    check_run = regime.check_run
+    work = work_cycles_per_syscall
+    seen = set()
+    warmed = 0
+    pending: Optional[Tuple[SyscallEvent, int]] = None
+    runs = trace.iter_runs()
+    for event, count in runs:
+        seen.add(event)
+        remaining = plan.warm_events - warmed
+        take = count if count <= remaining else remaining
+        for outcome, _ in check_run(event, take, work):
+            if strict and not outcome.allowed:
+                _deny(regime, event)
+        warmed += take
+        if take < count:
+            pending = (event, count - take)
+        if warmed >= plan.warm_events:
+            break
+    if warmed < plan.warm_events:
+        raise SimulationError(
+            f"trace ended after {warmed} events, inside the sampled "
+            f"warm-up window of {plan.warm_events}"
+        )
+    warm_stats = regime.structure_stats() or {}
+
+    audits = ledger.audits_enabled()
+    #: Cold (first-occurrence) outcomes vs. steady-mix outcomes are
+    #: scaled to different targets, so they accumulate separately.
+    cold_groups: Dict[CheckOutcome, int] = {}
+    steady_groups: Dict[CheckOutcome, int] = {}
+    cycles_half = [0.0, 0.0]
+    events_half = [0, 0]
+    half = plan.sample_events // 2
+    sampled = 0
+    cold_sampled = 0
+    runs_coalesced = 0
+    stream = chain((pending,), runs) if pending is not None else runs
+    for event, count in stream:
+        take = count if count <= plan.sample_events - sampled else (
+            plan.sample_events - sampled
+        )
+        if event not in seen:
+            # The first-ever check of this value is a cold transient;
+            # keep it out of the steady mix so scaling cannot multiply
+            # one-off costs.
+            seen.add(event)
+            runs_coalesced += 1
+            for outcome, seg in check_run(event, 1, work):
+                if strict and not outcome.allowed:
+                    _deny(regime, event)
+                cold_groups[outcome] = cold_groups.get(outcome, 0) + seg
+            sampled += 1
+            cold_sampled += 1
+            take -= 1
+        while take > 0:
+            # Split steady runs at the half-sample boundary so a single
+            # long run cannot leave one half empty and zero the
+            # split-half drift estimate.
+            bucket = 0 if sampled < half else 1
+            boundary = half - sampled if bucket == 0 else take
+            part = take if take <= boundary else boundary
+            runs_coalesced += 1
+            for outcome, seg in check_run(event, part, work):
+                if strict and not outcome.allowed:
+                    _deny(regime, event)
+                steady_groups[outcome] = steady_groups.get(outcome, 0) + seg
+                cycles_half[bucket] += outcome.cycles * seg
+            events_half[bucket] += part
+            sampled += part
+            take -= part
+        if sampled >= plan.sample_events:
+            break
+    if sampled < plan.sample_events:
+        raise SimulationError(
+            f"trace ended after {sampled} sampled events of "
+            f"{plan.sample_events} planned"
+        )
+    end_stats = regime.structure_stats() or {}
+
+    # Transient segment: the quantum timer expires plan.transient_repeats
+    # times inside the measured window (deterministic — the timer adds
+    # exactly work_cycles per event).  Fire one switch by hand and
+    # simulate a single re-warm; it is scaled by the expiry count below.
+    transient_groups: Dict[CheckOutcome, int] = {}
+    transient_sim = 0
+    if plan.transient_repeats and plan.transient_events:
+        regime.analytic_context_switch()
+        for event, count in stream:
+            remaining = plan.transient_events - transient_sim
+            take = count if count <= remaining else remaining
+            seen.add(event)
+            runs_coalesced += 1
+            for outcome, seg in check_run(event, take, work):
+                if strict and not outcome.allowed:
+                    _deny(regime, event)
+                transient_groups[outcome] = transient_groups.get(outcome, 0) + seg
+            transient_sim += take
+            if transient_sim >= plan.transient_events:
+                break
+
+    total_measured = windows.total - windows.warmup
+    cold_full = windows.distinct_new_measured
+    accounted_cold = cold_full if (cold_groups and cold_full > 0) else 0
+    transient_target = (
+        plan.transient_repeats * transient_sim if transient_groups else 0
+    )
+    steady_target = total_measured - accounted_cold - transient_target
+    cold_scaled = (
+        analytic_backend.scale_counts(list(cold_groups.values()), accounted_cold)
+        if cold_groups
+        else []
+    )
+    steady_scaled = analytic_backend.scale_counts(
+        list(steady_groups.values()), steady_target
+    )
+    transient_scaled = (
+        analytic_backend.scale_counts(
+            list(transient_groups.values()), transient_target
+        )
+        if transient_groups
+        else []
+    )
+    groups: Dict[CheckOutcome, int] = {}
+    for bucket, scaled_counts in (
+        (steady_groups, steady_scaled),
+        (cold_groups, cold_scaled),
+        (transient_groups, transient_scaled),
+    ):
+        for outcome, scaled in zip(bucket, scaled_counts):
+            if scaled:
+                groups[outcome] = groups.get(outcome, 0) + scaled
+
+    # Split-half drift, expressed on the *run-time* scale: the absolute
+    # per-event check-cost difference between the two sample halves,
+    # multiplied by the events it is extrapolated over, relative to the
+    # run's total cycle cost.  This is directly comparable to an error
+    # on normalised execution time, which is what the figures report.
+    total_cost = sum(o.cycles * c for o, c in groups.items()) + (
+        syscall_base_cycles + work
+    ) * total_measured
+    steady_events = events_half[0] + events_half[1]
+    if events_half[0] and events_half[1] and total_cost > 0:
+        drift = abs(
+            cycles_half[0] / events_half[0] - cycles_half[1] / events_half[1]
+        )
+        # Assume the per-half drift continues linearly across the
+        # extrapolated span (steady_target / steady_events half-sample
+        # lengths), then floor at the catalog-validated bound — the
+        # sample cannot observe transients slower than itself.
+        error = (
+            drift * steady_target * steady_target
+            / (steady_events * total_cost)
+        )
+    else:
+        error = 0.0
+    error = max(error, analytic_backend.HW_ERROR_FLOOR)
+
+    structures = analytic_backend.extrapolate_structures(
+        warm_stats, end_stats, sampled, total_measured - sampled
+    )
+    simulated = sampled + transient_sim
+    info = AnalyticInfo(
+        mode="sampled",
+        events_simulated=simulated,
+        events_accounted=total_measured,
+        scale=total_measured / simulated,
+        error_estimate=error,
+    )
+    return _build_result(
+        regime=regime,
+        workload_name=workload_name,
+        work_cycles_per_syscall=work_cycles_per_syscall,
+        syscall_base_cycles=syscall_base_cycles,
+        groups=groups,
+        measured=total_measured,
+        warmed=windows.warmup,
+        runs_coalesced=runs_coalesced,
+        audits=audits,
+        regime_before=None,
+        cross_audit=False,
+        structures=structures if ledger.enabled() else None,
+        structures_telemetry=structures if ledger.enabled() else None,
+        analytic_info=info,
+    )
 
 
 def run_trace(
@@ -76,13 +503,15 @@ def run_trace(
     warmup_fraction: float = 0.4,
     strict: bool = True,
     events_total: Optional[int] = None,
+    analytic: Optional[bool] = None,
 ) -> RunResult:
     """Execute *trace* under *regime* and compute normalised time.
 
     *trace* may be any iterable of events — a materialized
-    :class:`SyscallTrace` or a streaming generator such as
-    :meth:`repro.workloads.generator.TraceGenerator.iter_events`.  For
-    iterables without a length, pass ``events_total`` so the warm-up
+    :class:`SyscallTrace`, a pre-coalesced
+    :class:`repro.syscalls.events.RunTrace`, or a streaming generator
+    such as :meth:`repro.workloads.generator.TraceGenerator.iter_events`.
+    For iterables without a length, pass ``events_total`` so the warm-up
     window can be sized up front.
 
     The trace is consumed as run-length-encoded ``(event, count)``
@@ -92,6 +521,11 @@ def run_trace(
     independent of how regimes segment a run, so the bulk fast path
     (``REPRO_BULK=1``, the default) and the literal per-event path
     (``REPRO_BULK=0``) produce byte-identical :class:`RunResult`\\ s.
+
+    ``analytic`` is the per-run opt-in/out seam for the analytic tier:
+    ``None`` follows ``REPRO_ANALYTIC`` (default on), ``False`` forces
+    the exact kernels, ``True`` requests the analytic tier (which still
+    falls back to the exact kernels when the regime declines a plan).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must be within [0, 1)")
@@ -100,18 +534,40 @@ def run_trace(
         raise SimulationError("empty trace")
     warmup = int(n * warmup_fraction)
 
+    use_analytic = (
+        analytic_backend.analytic_enabled() if analytic is None else bool(analytic)
+    )
+    if use_analytic and events_total is None:
+        windows = analytic_backend.trace_windows(trace, warmup)
+        if windows is not None:
+            plan = regime.analytic_plan(windows, work_cycles_per_syscall)
+            if plan is not None:
+                if plan.mode == "exact":
+                    return _run_exact_window(
+                        windows,
+                        regime,
+                        work_cycles_per_syscall,
+                        syscall_base_cycles,
+                        workload_name,
+                        strict,
+                    )
+                return _run_sampled_window(
+                    trace,
+                    windows,
+                    plan,
+                    regime,
+                    work_cycles_per_syscall,
+                    syscall_base_cycles,
+                    workload_name,
+                    strict,
+                )
+
     # The run loop is the simulator's hottest code: bound methods are
     # hoisted and the warm-up window is split out so the measured loop
     # carries no per-run index comparison.
     check = regime.check
     check_run = regime.check_run
     advance = regime.advance
-
-    def _deny(event: SyscallEvent) -> None:
-        raise SimulationError(
-            f"{regime.name} denied {event.sid} {event.args} — the profile "
-            "does not cover the workload (coverage bug)"
-        )
 
     def _consume(event: SyscallEvent, count: int):
         """``[check; advance] × count`` via the regime, returning
@@ -123,7 +579,8 @@ def run_trace(
             return ((outcome, 1),)
         return check_run(event, count, work_cycles_per_syscall)
 
-    runs = iter_runs(trace)
+    runs_method = getattr(trace, "iter_runs", None)
+    runs = runs_method() if runs_method is not None else iter_runs(trace)
     warmed = 0
     measured = 0
     runs_coalesced = 0
@@ -137,7 +594,7 @@ def run_trace(
             take = count if count <= remaining else remaining
             for outcome, _ in _consume(event, take):
                 if strict and not outcome.allowed:
-                    _deny(event)
+                    _deny(regime, event)
             warmed += take
             if take < count:
                 pending = (event, count - take)
@@ -168,7 +625,7 @@ def run_trace(
                 # a strict denial raises at the same event the
                 # per-event loop would have raised at.
                 if strict and not outcome.allowed:
-                    _deny(event)
+                    _deny(regime, event)
                 groups[outcome] = 1
             else:
                 groups[outcome] = grouped + 1
@@ -178,21 +635,11 @@ def run_trace(
             grouped = groups_get(outcome)
             if grouped is None:
                 if strict and not outcome.allowed:
-                    _deny(event)
+                    _deny(regime, event)
                 groups[outcome] = seg
             else:
                 groups[outcome] = grouped + seg
         measured += count
-
-    paths: Dict[str, int] = {}
-    flow_counts: Dict[str, int] = {}
-    flow_cycles: Dict[str, float] = {}
-    for outcome, grouped in groups.items():
-        path = outcome.path
-        paths[path] = paths.get(path, 0) + grouped
-        flow = outcome.flow or path
-        flow_counts[flow] = flow_counts.get(flow, 0) + grouped
-        flow_cycles[flow] = flow_cycles.get(flow, 0.0) + outcome.cycles * grouped
 
     if measured == 0:
         short = (
@@ -211,50 +658,26 @@ def run_trace(
             f"{warmed + measured} events"
         )
 
-    run_ledger = ledger.FlowLedger(flow_counts, flow_cycles)
-    # The total is *derived* from the per-flow buckets (sorted-key sum),
-    # so conservation holds exactly by construction; the audits below
-    # then cross-check the counts against the events measured and the
-    # whole ledger against the regime's own independent accounting.
-    total_check = run_ledger.total_cycles()
-    mean_check = total_check / measured
-    baseline = work_cycles_per_syscall + syscall_base_cycles
-    normalized = (baseline + mean_check) / baseline
-
-    if audits:
-        scope = f"{workload_name or '?'}/{regime.name}"
-        run_ledger.audit_totals(measured, total_check, scope=scope)
-        if regime_before is not None:
-            regime_after = regime.ledger_snapshot()
-            if regime_after is not None:
-                run_ledger.audit_against(regime_before, regime_after, scope=scope)
-
-    # Both counters cover the measured window (warm-up events previously
-    # inflated `events` while being excluded from `total_cycles`).
-    telemetry.record_simulation(
-        regime=regime.name,
-        events=measured,
-        check_cycles=total_check,
-        total_cycles=measured * baseline + total_check,
-        warmup_events=warmed,
-        flow_counts=flow_counts,
-        flow_cycles=flow_cycles,
-        structures=regime.structure_stats() if ledger.enabled() else None,
-        runs_coalesced=runs_coalesced,
-    )
-    return RunResult(
-        workload=workload_name,
-        regime=regime.name,
-        events_measured=measured,
+    raw_stats = regime.structure_stats() if ledger.enabled() else None
+    return _build_result(
+        regime=regime,
+        workload_name=workload_name,
         work_cycles_per_syscall=work_cycles_per_syscall,
         syscall_base_cycles=syscall_base_cycles,
-        mean_check_cycles=mean_check,
-        normalized_time=normalized,
-        path_counts=paths,
-        flow_counts=flow_counts,
-        flow_cycles=flow_cycles,
-        total_check_cycles=total_check,
-        warmup_events=warmed,
+        groups=groups,
+        measured=measured,
+        warmed=warmed,
+        runs_coalesced=runs_coalesced,
+        audits=audits,
+        regime_before=regime_before,
+        cross_audit=True,
+        structures=(
+            analytic_backend.sanitize_structures(raw_stats)
+            if raw_stats is not None
+            else None
+        ),
+        structures_telemetry=raw_stats,
+        analytic_info=None,
     )
 
 

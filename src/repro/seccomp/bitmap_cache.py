@@ -20,12 +20,19 @@ the Draco-vs-bitmap comparison the paper implies can be measured:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.bpf.abstract import constant_action_for
+from repro.common import analytic as analytic_backend
+from repro.common.bulk import bulk_enabled
 from repro.core.software import CheckOutcome
+from repro.kernel.regimes import (
+    CheckingRegime,
+    _attach,
+    _merge_segment,
+    _shared_outcome_memo,
+)
 from repro.cpu.params import DEFAULT_SW_COSTS, SoftwareCostParams
-from repro.kernel.regimes import CheckingRegime, _attach
 from repro.seccomp.actions import SECCOMP_RET_ALLOW, action_of
 from repro.seccomp.engine import SeccompKernelModule
 from repro.seccomp.profile import SeccompProfile
@@ -106,13 +113,21 @@ class SeccompBitmapRegime(CheckingRegime):
         self.cache = SeccompActionCache(self.module, table=profile.table)
         self.bitmap_hits = 0
         self.filter_runs = 0
+        self._hit_outcome = CheckOutcome(
+            allowed=True, cycles=self.BITMAP_HIT_CYCLES, path="bitmap_hit"
+        )
+        #: Filter outcomes are pure functions of the masked argument
+        #: bytes (same argument as SeccompRegime's memo), shared across
+        #: instances with the same configuration.
+        self._outcome_memo = _shared_outcome_memo(
+            profile, times, compiler, use_jit, costs, kind="bitmap"
+        )
+        self._bulk = bulk_enabled()
 
     def check(self, event: SyscallEvent) -> CheckOutcome:
         if self.cache.hit(event.sid):
             self.bitmap_hits += 1
-            return CheckOutcome(
-                allowed=True, cycles=self.BITMAP_HIT_CYCLES, path="bitmap_hit"
-            )
+            return self._hit_outcome
         self.filter_runs += 1
         decision = self.module.check(event)
         per_insn = (
@@ -130,3 +145,36 @@ class SeccompBitmapRegime(CheckingRegime):
             cycles=cycles,
             path="filter_run" if decision.allowed else "denied",
         )
+
+    def check_run(
+        self, event: SyscallEvent, count: int, work_cycles: float = 0.0
+    ) -> List[Tuple[CheckOutcome, int]]:
+        """The bitmap is static after attach and the filter decision is
+        a pure function of the masked argument bytes, so a run collapses
+        to one counter bump on the cached outcome."""
+        if not self._bulk or count <= 1:
+            return super().check_run(event, count, work_cycles)
+        if self.cache.hit(event.sid):
+            self.bitmap_hits += count
+            return [(self._hit_outcome, count)]
+        key = self.module.memo_key(event)
+        if key is None:
+            return super().check_run(event, count, work_cycles)
+        segments: List[Tuple[CheckOutcome, int]] = []
+        remaining = count
+        if key not in self._outcome_memo:
+            # Cold first check runs the filter and installs the memo.
+            outcome = self.check(event)
+            self._outcome_memo[key] = outcome
+            _merge_segment(segments, outcome, 1)
+            remaining -= 1
+        cached = self._outcome_memo[key]
+        self.filter_runs += remaining
+        _merge_segment(segments, cached, remaining)
+        return segments
+
+    def analytic_plan(self, windows, work_cycles: float = 0.0):
+        # The bitmap never changes after attach, decisions are pure
+        # functions of the event value, and advance() is a no-op —
+        # histogram replay is value-identical.
+        return analytic_backend.EXACT_PLAN

@@ -143,3 +143,65 @@ class SyscallTrace:
 
     def argument_sets_for(self, sid: int) -> Tuple[Tuple[int, ...], ...]:
         return tuple(sorted({e.args for e in self._events if e.sid == sid}))
+
+
+class RunTrace:
+    """A trace stored directly as run-length-encoded ``(event, count)``
+    runs — the native input of the bulk and analytic kernels.
+
+    Fleet-scale syscall streams are dominated by long repeats; storing
+    them expanded just to re-coalesce inside the simulator is wasted
+    memory and wasted time.  A :class:`RunTrace` keeps the runs and
+    satisfies the trace protocol the kernels use (``__len__`` is the
+    total event count, ``iter_runs`` yields the runs, ``__iter__``
+    expands to individual events for the per-event tier):
+
+    >>> e = make_event("read", (3, 100))
+    >>> t = RunTrace([(e, 5)])
+    >>> len(t)
+    5
+    >>> list(t.iter_runs()) == [(e, 5)]
+    True
+    >>> sum(1 for _ in t)
+    5
+    """
+
+    def __init__(self, runs: Iterable[Tuple[SyscallEvent, int]] = ()) -> None:
+        self._runs: List[Tuple[SyscallEvent, int]] = []
+        self._total = 0
+        for event, count in runs:
+            self.append_run(event, count)
+
+    def append_run(self, event: SyscallEvent, count: int) -> None:
+        if count < 0:
+            raise ValueError("run count must be non-negative")
+        if not count:
+            return
+        if self._runs and (
+            self._runs[-1][0] is event or self._runs[-1][0] == event
+        ):
+            prev, prev_count = self._runs[-1]
+            self._runs[-1] = (prev, prev_count + count)
+        else:
+            self._runs.append((event, count))
+        self._total += count
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator[SyscallEvent]:
+        for event, count in self._runs:
+            for _ in range(count):
+                yield event
+
+    def iter_runs(self) -> Iterator[Tuple[SyscallEvent, int]]:
+        return iter(self._runs)
+
+    def unique_sids(self) -> Tuple[int, ...]:
+        return tuple(sorted({e.sid for e, _ in self._runs}))
+
+    def unique_keys(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        return tuple(sorted({e.key for e, _ in self._runs}))
+
+    def argument_sets_for(self, sid: int) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(sorted({e.args for e, _ in self._runs if e.sid == sid}))

@@ -1,0 +1,131 @@
+"""Documentation checker: dead links and kill-switch coverage.
+
+Two classes of doc rot have bitten this repository before: relative
+markdown links that outlive the file they point to, and ``REPRO_*``
+environment switches documented in one table but not the canonical
+matrix.  This tool scans the markdown set (``README.md``,
+``EXPERIMENTS.md``, ``DESIGN.md``, ``docs/*.md``) and fails on either.
+
+Checks:
+
+1. **Dead links** — every relative ``[text](target)`` must resolve to
+   an existing file (anchors are stripped; ``http(s):``/``mailto:``
+   links and pure in-page anchors are skipped).
+2. **Kill-switch coverage** — every ``REPRO_[A-Z_]+`` environment
+   variable referenced under ``src/repro`` must appear in the
+   ``docs/PERFORMANCE.md`` kill-switch matrix, and every switch the
+   matrix documents must still exist in the source tree (no stale
+   rows).
+
+Usage::
+
+    python -m repro.tools.docscheck            # check, non-zero exit on rot
+    python -m repro.tools.docscheck --root DIR # check another checkout
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+#: Markdown files checked for dead links, relative to the repo root.
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "DESIGN.md", "docs/*.md")
+
+#: The canonical kill-switch matrix every REPRO_* variable must be in.
+MATRIX_DOC = "docs/PERFORMANCE.md"
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_SWITCH = re.compile(r"\bREPRO_[A-Z][A-Z_]*\b")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def _doc_files(root: Path) -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def check_links(root: Path) -> List[str]:
+    """Broken relative links, as ``file: target`` strings."""
+    problems: List[str] = []
+    for doc in _doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(root)}: dead link -> {target}")
+    return problems
+
+
+def _switches_in(paths: Iterable[Path]) -> Set[str]:
+    found: Set[str] = set()
+    for path in paths:
+        try:
+            found.update(_SWITCH.findall(path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError):
+            continue
+    return found
+
+
+def check_switches(root: Path) -> Tuple[List[str], Set[str], Set[str]]:
+    """(problems, switches in source, switches in the matrix doc)."""
+    source_switches = _switches_in((root / "src" / "repro").rglob("*.py"))
+    matrix_path = root / MATRIX_DOC
+    if not matrix_path.exists():
+        return ([f"{MATRIX_DOC} is missing"], source_switches, set())
+    matrix_switches = _switches_in([matrix_path])
+    problems = [
+        f"{MATRIX_DOC}: missing switch {name}"
+        for name in sorted(source_switches - matrix_switches)
+    ]
+    problems += [
+        f"{MATRIX_DOC}: stale switch {name} (not in src/repro)"
+        for name in sorted(matrix_switches - source_switches)
+    ]
+    return (problems, source_switches, matrix_switches)
+
+
+def run_checks(root: Path) -> List[str]:
+    problems = check_links(root)
+    switch_problems, _, _ = check_switches(root)
+    return problems + switch_problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[3],
+        help="repository root (default: this checkout)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    docs = _doc_files(root)
+    problems = run_checks(root)
+    _, source_switches, matrix_switches = check_switches(root)
+    print(
+        f"docscheck: {len(docs)} docs, "
+        f"{len(source_switches)} REPRO_* switches in source, "
+        f"{len(matrix_switches & source_switches)} documented in {MATRIX_DOC}"
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    print("ok: no dead links, kill-switch matrix complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -352,10 +352,16 @@ class TestEngineSharding:
     def test_sharded_results_byte_identical(self, tmp_path):
         from repro.experiments import engine
 
+        from repro.experiments import runner
+
         serial = engine.run_suite(
             ["fig13"], events=600, seed=5, jobs=1,
             cache_mode=engine.CACHE_OFF, cache_dir=str(tmp_path),
         )
+        # The serial pass warms the per-context evaluation memos and
+        # fork-based shard workers inherit them; clear so every shard
+        # actually simulates and contributes telemetry to the merge.
+        runner._cached_context.cache_clear()
         sharded = engine.run_suite(
             ["fig13"], events=600, seed=5, jobs=4,
             cache_mode=engine.CACHE_OFF, cache_dir=str(tmp_path),
