@@ -25,11 +25,25 @@ simulator itself:
 ``REPRO_FASTPATH=0`` disables the code generator (the interpreter and
 the memo cache still run), which is how the benchmark harness measures
 the speedup.
+
+Generated filter sources are large enough that ``compile()`` itself is
+a measurable per-process cost (every engine worker pays it afresh), so
+the resulting code objects are also persisted in the on-disk context
+cache (``contexts/bpf-code/``, see :mod:`repro.common.storage`) as
+checksummed ``marshal`` payloads keyed by source hash and interpreter
+magic — a warm process skips straight to ``exec``.
+``REPRO_CONTEXT_CACHE=0`` disables that tier.
 """
 
 from __future__ import annotations
 
+import hashlib
+import importlib.util
+import marshal
 import os
+import sys
+import types
+from pathlib import Path
 from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.bpf.insn import (
@@ -73,6 +87,7 @@ from repro.bpf.insn import (
 from repro.bpf.interpreter import ExecResult
 from repro.bpf.seccomp_data import SeccompData
 from repro.bpf.verifier import verify
+from repro.common import storage, telemetry
 from repro.common.errors import BpfRuntimeError
 from repro.syscalls.abi import AUDIT_ARCH_X86_64
 
@@ -362,6 +377,59 @@ def compile_program(program: Sequence[Insn]) -> CompiledFilter:
 _COMPILE_CACHE: dict = {}
 _COMPILE_CACHE_LIMIT = 4096
 
+#: Code objects only load into the exact interpreter build that wrote
+#: them; the tag partitions the on-disk tier per bytecode format.
+_CODE_CACHE_TAG = (
+    f"{sys.implementation.cache_tag or 'python'}-{importlib.util.MAGIC_NUMBER.hex()}"
+)
+
+
+def _code_cache_path(source: str) -> Path:
+    digest = hashlib.sha256(source.encode()).hexdigest()[:24]
+    return (
+        storage.cache_root()
+        / "contexts"
+        / "bpf-code"
+        / _CODE_CACHE_TAG
+        / f"{digest}.bin"
+    )
+
+
+def _compile_filter_source(source: str) -> types.CodeType:
+    """``compile()`` with a persistent code-object cache.
+
+    The payload is ``sha256(marshal) + marshal``: the checksum rejects a
+    torn or tampered entry before ``marshal.loads`` (which is not
+    hardened against corrupt input) ever sees it.  Any mismatch is a
+    miss and the source is recompiled.
+    """
+    if not storage.context_cache_enabled():
+        return compile(source, "<bpf-compiled-filter>", "exec")
+    path = _code_cache_path(source)
+    code = None
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        blob = None
+    if (
+        blob is not None
+        and len(blob) > 32
+        and hashlib.sha256(blob[32:]).digest() == blob[:32]
+    ):
+        try:
+            candidate = marshal.loads(blob[32:])
+        except (EOFError, ValueError, TypeError):
+            candidate = None
+        if isinstance(candidate, types.CodeType):
+            code = candidate
+    telemetry.record_context_cache("bpf-code", "hit" if code is not None else "miss")
+    if code is None:
+        code = compile(source, "<bpf-compiled-filter>", "exec")
+        payload = marshal.dumps(code)
+        storage.atomic_write_bytes(path, hashlib.sha256(payload).digest() + payload)
+        telemetry.record_context_cache("bpf-code", "store")
+    return code
+
 
 def _compile_program_uncached(program: Tuple[Insn, ...]) -> CompiledFilter:
     verify(program)
@@ -433,7 +501,7 @@ def _compile_program_uncached(program: Tuple[Insn, ...]) -> CompiledFilter:
 
     source = "\n".join(chunks)
     namespace: dict = {"BpfRuntimeError": BpfRuntimeError}
-    exec(compile(source, "<bpf-compiled-filter>", "exec"), namespace)  # noqa: S102
+    exec(_compile_filter_source(source), namespace)  # noqa: S102
     return CompiledFilter(
         program=program,
         read_words=read_word_indices(program),

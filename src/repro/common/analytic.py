@@ -89,6 +89,8 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.common.memo import memo_insert
+
 #: Environment variable: set to ``0``/``off`` to disable the analytic
 #: backend (every run falls back to the RLE bulk kernel, or per-event
 #: under ``REPRO_BULK=0``).
@@ -256,9 +258,7 @@ def trace_windows(trace: Any, warmup: int) -> Optional[TraceWindows]:
         distinct=len(warm) + new,
         distinct_new_measured=new,
     )
-    if len(_WINDOW_MEMO) >= _WINDOW_MEMO_LIMIT:
-        _WINDOW_MEMO.clear()
-    _WINDOW_MEMO[key] = (trace, windows)
+    memo_insert(_WINDOW_MEMO, key, (trace, windows), _WINDOW_MEMO_LIMIT)
     return windows
 
 

@@ -1,0 +1,84 @@
+"""Low-level persistent-cache plumbing shared across layers.
+
+The experiment-level cache (:mod:`repro.experiments.cache`) and the BPF
+compiler's code-object cache (:mod:`repro.bpf.compile`) sit at opposite
+ends of the import graph, but they must agree on where the cache lives
+and when it is enabled — one ``REPRO_CACHE_DIR``, one
+``REPRO_CACHE_DISABLE``, one ``REPRO_CONTEXT_CACHE`` kill switch.  This
+module owns those decisions plus the atomic write discipline, and
+depends on nothing above ``repro.common``.
+
+All writes are temp-file-then-``os.replace`` so concurrent workers
+never observe a torn entry; all reads treat a missing, truncated, or
+unparseable file as a cache miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache entirely (any non-empty value).
+CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+
+#: Kill switch for the persistent context cache (traces, bundles,
+#: filter sweeps, compiled-filter code objects).  ``0``/``off``/
+#: ``false``/``no`` disables it; the result and calibration tiers are
+#: unaffected.
+CONTEXT_CACHE_ENV = "REPRO_CONTEXT_CACHE"
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE_DISABLE`` is set to a non-empty value."""
+    return not os.environ.get(CACHE_DISABLE_ENV)
+
+
+def context_cache_enabled() -> bool:
+    """True when the persistent context cache is active.
+
+    Requires the cache itself (``REPRO_CACHE_DISABLE`` unset) *and*
+    ``REPRO_CONTEXT_CACHE`` not set to ``0``/``off``/``false``/``no``
+    (case-insensitive); defaults to on.
+    """
+    if not cache_enabled():
+        return False
+    return os.environ.get(CONTEXT_CACHE_ENV, "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def cache_root() -> Path:
+    """The cache directory (not created until first write)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-draco"
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def read_json(path: Path) -> Optional[Any]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None  # missing or torn entry: treat as a miss

@@ -63,6 +63,10 @@ class SimulationCounters:
     derived_traces: int = 0
     events_extrapolated: int = 0
     max_error_estimate: float = 0.0
+    #: Persistent context-cache activity, per artifact kind ("trace",
+    #: "bundle", "sweep", "calibration"): how many disk probes hit,
+    #: missed, and how many rebuilt artifacts were stored back.
+    context_cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         flows: Dict[str, Any] = {}
@@ -105,6 +109,11 @@ class SimulationCounters:
             payload["derived_traces"] = self.derived_traces
             payload["events_extrapolated"] = self.events_extrapolated
             payload["max_error_estimate"] = round(self.max_error_estimate, 6)
+        if self.context_cache:
+            payload["context_cache"] = {
+                kind: dict(sorted(counters.items()))
+                for kind, counters in sorted(self.context_cache.items())
+            }
         return payload
 
 
@@ -181,6 +190,19 @@ def record_simulation(
         _merge_structures(
             _COUNTERS.regime_structures.setdefault(regime, {}), structures
         )
+
+
+def record_context_cache(kind: str, outcome: str) -> None:
+    """Account one persistent-context-cache event.
+
+    ``kind`` names the artifact family (``trace`` / ``bundle`` /
+    ``sweep`` / ``calibration``); ``outcome`` is ``hit`` (served from
+    disk), ``miss`` (probed, absent or invalid), or ``store`` (rebuilt
+    artifact written back).  Only *disk* activity is recorded —
+    in-process memo hits never reach this function.
+    """
+    bucket = _COUNTERS.context_cache.setdefault(kind, {})
+    bucket[outcome] = bucket.get(outcome, 0) + 1
 
 
 def merge_simulations(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -318,6 +340,16 @@ class RunReport:
 
     def runs_coalesced(self) -> int:
         return sum(r.simulation.get("runs_coalesced", 0) for r in self.records)
+
+    def context_cache(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind context-cache counters summed across every record."""
+        merged: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            for kind, counters in record.simulation.get("context_cache", {}).items():
+                bucket = merged.setdefault(kind, {})
+                for outcome, count in counters.items():
+                    bucket[outcome] = bucket.get(outcome, 0) + count
+        return {kind: merged[kind] for kind in sorted(merged)}
 
     def mean_run_length(self) -> float:
         runs = self.runs_coalesced()
@@ -474,6 +506,19 @@ class RunReport:
             f"(jobs={self.jobs}, cache: {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {len(self.failures)} failed)"
         )
+        context = self.context_cache()
+        if context:
+            hits = sum(c.get("hit", 0) for c in context.values())
+            misses = sum(c.get("miss", 0) for c in context.values())
+            stores = sum(c.get("store", 0) for c in context.values())
+            detail = ", ".join(
+                f"{kind} {c.get('hit', 0)}/{c.get('hit', 0) + c.get('miss', 0)}"
+                for kind, c in context.items()
+            )
+            lines.append(
+                f"context cache: {hits} hit / {misses} miss / {stores} "
+                f"store ({detail}) — REPRO_CONTEXT_CACHE"
+            )
         derived = self.derived_traces()
         if derived:
             lines.append(

@@ -18,52 +18,85 @@ The *code fingerprint* is a SHA-256 over every ``.py`` file under
 the safe direction for a research repo.  The *params digest* is a
 SHA-256 of the canonical-JSON encoding of the run parameters.
 
+A third tier is the **context cache**: the expensive inputs a
+simulation consumes — materialised traces, derived profile bundles,
+compiled-filter sweep artifacts — persisted so ``--refresh`` (or a
+regime-only change) re-runs simulation without re-deriving contexts.
+Context entries are versioned JSON documents keyed by
+:func:`context_digest` (spec payload + parameters + code fingerprint +
+``CONTEXT_FORMAT_VERSION``); traces use the RLE trace format from
+:mod:`repro.syscalls.serialize`.  A corrupt, truncated, or
+schema-drifted entry always reads as a miss and the caller rebuilds.
+
 Layout (under :func:`cache_root`, default ``~/.cache/repro-draco`` or
 ``$REPRO_CACHE_DIR``)::
 
     results/<experiment_id>/<digest>.json    cached ExperimentResult
     calibration/<digest>.json                cached work-cycle value
+    contexts/trace/<digest>.jsonl            RLE-serialised traces
+    contexts/<kind>/<digest>.json            other context artifacts
+    contexts/bpf-code/<tag>/<digest>.bin     marshalled filter code objects
+                                             (owned by repro.bpf.compile;
+                                             <tag> pins interpreter + magic)
     runs/latest.json                         most recent run report
     runs/run-<timestamp>.json                archived run reports
 
 Set ``REPRO_CACHE_DISABLE=1`` (or pass ``--no-cache`` to the CLI) to
-bypass both reads and writes.  All writes are atomic
-(temp-file-then-rename) so concurrent engine workers never observe a
-torn entry.
+bypass both reads and writes.  ``REPRO_CONTEXT_CACHE=0`` disables only
+the context tier (results and calibration still cache).  All writes are
+atomic (temp-file-then-rename) so concurrent engine workers never
+observe a torn entry.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.bpf.compile import COMPILER_VERSION
 from repro.common.analytic import ANALYTIC_VERSION, analytic_enabled
+from repro.common.storage import (
+    CACHE_DIR_ENV,
+    CACHE_DISABLE_ENV,
+    CONTEXT_CACHE_ENV,
+    cache_enabled,
+    cache_root,
+    context_cache_enabled,
+)
+from repro.common.storage import atomic_write_text as _atomic_write
+from repro.common.storage import read_json as _read_json
 from repro.kernel.simulator import SIM_KERNEL_VERSION
 from repro.experiments.results import ExperimentResult
+from repro.syscalls import serialize
+from repro.syscalls.events import SyscallTrace
 
-#: Environment variable overriding the cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_DISABLE_ENV",
+    "CONTEXT_CACHE_ENV",
+    "CONTEXT_FORMAT_VERSION",
+    "COMPILER_VERSION",
+    "SIM_KERNEL_VERSION",
+    "ResultCache",
+    "cache_enabled",
+    "cache_root",
+    "code_fingerprint",
+    "context_cache_enabled",
+    "context_digest",
+    "params_digest",
+    "spec_payload",
+]
 
-#: Environment variable disabling the cache entirely (any non-empty value).
-CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+#: Version of the context-cache serialisation contract.  Bumped when
+#: the on-disk shape of any context artifact changes, so stale entries
+#: read as misses instead of deserialising into the wrong shape.
+CONTEXT_FORMAT_VERSION = 1
 
-
-def cache_enabled() -> bool:
-    """True unless ``REPRO_CACHE_DISABLE`` is set to a non-empty value."""
-    return not os.environ.get(CACHE_DISABLE_ENV)
-
-
-def cache_root() -> Path:
-    """The cache directory (not created until first write)."""
-    override = os.environ.get(CACHE_DIR_ENV)
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "repro-draco"
+#: Wrapper format marker on every generic context document.
+_CONTEXT_FORMAT_NAME = "repro-context"
 
 
 @lru_cache(maxsize=1)
@@ -89,18 +122,6 @@ def params_digest(params: Mapping[str, Any]) -> str:
     return hashlib.sha256(encoded.encode()).hexdigest()[:20]
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-
-
-def _read_json(path: Path) -> Optional[Any]:
-    try:
-        return json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None  # missing or torn entry: treat as a miss
 
 
 class ResultCache:
@@ -159,6 +180,77 @@ class ResultCache:
 
     def store_calibration(self, digest: str, value: float) -> None:
         _atomic_write(self.calibration_path(digest), json.dumps(value))
+
+    # -- context artifacts ---------------------------------------------
+
+    def context_path(self, kind: str, digest: str, suffix: str = ".json") -> Path:
+        return self.root / "contexts" / kind / f"{digest}{suffix}"
+
+    def load_context(self, kind: str, digest: str) -> Optional[Any]:
+        """The ``data`` payload of a stored context document, or ``None``
+        on any miss: absent file, torn write, bad JSON, wrong wrapper
+        format/kind, or a ``CONTEXT_FORMAT_VERSION`` mismatch."""
+        payload = _read_json(self.context_path(kind, digest))
+        if not isinstance(payload, Mapping):
+            return None
+        if (
+            payload.get("format") != _CONTEXT_FORMAT_NAME
+            or payload.get("version") != CONTEXT_FORMAT_VERSION
+            or payload.get("kind") != kind
+            or "data" not in payload
+        ):
+            return None
+        return payload["data"]
+
+    def store_context(self, kind: str, digest: str, data: Any) -> None:
+        document = {
+            "format": _CONTEXT_FORMAT_NAME,
+            "version": CONTEXT_FORMAT_VERSION,
+            "kind": kind,
+            "data": data,
+        }
+        _atomic_write(
+            self.context_path(kind, digest),
+            json.dumps(document, sort_keys=True, separators=(",", ":")),
+        )
+
+    def load_trace_context(self, digest: str) -> Optional[SyscallTrace]:
+        """A stored trace, or ``None`` on any miss or corruption (the
+        trace parser validates the header, every record, and the
+        declared event count)."""
+        path = self.context_path("trace", digest, suffix=".jsonl")
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return serialize.loads(text)
+        except serialize.TraceFormatError:
+            return None
+
+    def store_trace_context(self, digest: str, trace: SyscallTrace) -> None:
+        _atomic_write(
+            self.context_path("trace", digest, suffix=".jsonl"),
+            serialize.dumps(trace, version=serialize.FORMAT_VERSION_RLE),
+        )
+
+
+def context_digest(kind: str, spec, **params: Any) -> str:
+    """Content digest for one context artifact.
+
+    Folds the full workload-spec payload, the artifact kind and its
+    parameters, the source fingerprint, and the context serialisation
+    version — the same keying discipline as results, so a context entry
+    can never outlive a code or parameter change.
+    """
+    payload: Dict[str, Any] = {
+        "context_kind": kind,
+        "spec": spec_payload(spec),
+        "code": code_fingerprint(),
+        "context_format": CONTEXT_FORMAT_VERSION,
+    }
+    payload.update(params)
+    return params_digest(payload)
 
 
 def spec_payload(spec) -> Mapping[str, Any]:

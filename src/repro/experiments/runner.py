@@ -20,13 +20,17 @@ from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
+from repro.common import telemetry
+from repro.common.analytic import analytic_enabled
 from repro.common.errors import ConfigError
+from repro.common.memo import memo_insert
 from repro.common.rng import DEFAULT_SEED
 from repro.cpu.params import (
     DEFAULT_SW_COSTS,
     OLD_KERNEL_SW_COSTS,
     SoftwareCostParams,
 )
+from repro.experiments import cache as result_cache
 from repro.kernel.regimes import (
     CheckingRegime,
     DracoHwRegime,
@@ -35,8 +39,15 @@ from repro.kernel.regimes import (
     SeccompRegime,
 )
 from repro.kernel.simulator import RunResult, run_trace
+from repro.seccomp.profile import SeccompProfile
 from repro.seccomp.profiles import build_docker_default
-from repro.seccomp.toolkit import ProfileBundle, generate_bundle
+from repro.seccomp.toolkit import (
+    ProfileBundle,
+    bundle_from_payload,
+    bundle_to_payload,
+    generate_bundle,
+)
+from repro.syscalls import serialize
 from repro.syscalls.events import SyscallTrace
 from repro.workloads.catalog import (
     CATALOG,
@@ -60,8 +71,10 @@ MIN_WORK_CYCLES = 20.0
 #: docker-default is a pure function of the syscall table, but regimes
 #: are instantiated fresh per evaluation; share one profile object per
 #: table so downstream program-assembly memos hit.  Keyed by identity
-#: with a strong table reference so the id cannot be recycled.
+#: with a strong table reference so the id cannot be recycled; bounded
+#: with oldest-first eviction like every other context memo.
 _DOCKER_MEMO: dict = {}
+_DOCKER_MEMO_LIMIT = 64
 
 
 def _docker_profile_for(table):
@@ -69,7 +82,7 @@ def _docker_profile_for(table):
     if hit is not None and hit[0] is table:
         return hit[1]
     profile = build_docker_default(table)
-    _DOCKER_MEMO[id(table)] = (table, profile)
+    memo_insert(_DOCKER_MEMO, id(table), (table, profile), _DOCKER_MEMO_LIMIT)
     return profile
 
 
@@ -84,28 +97,67 @@ def _bundle_for(spec: WorkloadSpec, seed: int) -> ProfileBundle:
     hit = _BUNDLE_MEMO.get(key)
     if hit is not None and hit[0] is spec:
         return hit[1]
-    bundle = generate_bundle(profile_trace(spec, seed=seed), spec.name)
-    if len(_BUNDLE_MEMO) >= _BUNDLE_MEMO_LIMIT:
-        _BUNDLE_MEMO.clear()
-    _BUNDLE_MEMO[key] = (spec, bundle)
+    bundle = None
+    digest = None
+    if result_cache.context_cache_enabled():
+        digest = result_cache.context_digest("bundle", spec, seed=seed)
+        payload = result_cache.ResultCache().load_context("bundle", digest)
+        if payload is not None:
+            bundle = bundle_from_payload(payload, spec.name)
+        telemetry.record_context_cache(
+            "bundle", "hit" if bundle is not None else "miss"
+        )
+    if bundle is None:
+        bundle = generate_bundle(profile_trace(spec, seed=seed), spec.name)
+        if digest is not None:
+            result_cache.ResultCache().store_context(
+                "bundle", digest, bundle_to_payload(bundle)
+            )
+            telemetry.record_context_cache("bundle", "store")
+    memo_insert(_BUNDLE_MEMO, key, (spec, bundle), _BUNDLE_MEMO_LIMIT)
     return bundle
 
 
-#: Runtime knobs that change what a simulation computes or records.
-#: They key the per-context evaluation memo, so toggling any of them
-#: (the differential tests flip ``REPRO_BULK`` mid-process) re-runs.
+#: Runtime knobs that change what a simulation computes, records, or is
+#: allowed to serve from persistent storage.  They key the per-context
+#: evaluation memo, so toggling any of them mid-process (the
+#: differential tests flip ``REPRO_BULK`` and ``REPRO_CONTEXT_CACHE``)
+#: re-runs instead of serving a result the new setting forbids.
 _RUNTIME_ENV_KNOBS = (
     "REPRO_BULK",
     "REPRO_FASTPATH",
     "REPRO_LEDGER",
     "REPRO_LEDGER_AUDIT",
     "REPRO_ANALYTIC",
+    "REPRO_CONTEXT_CACHE",
+    "REPRO_CACHE_DISABLE",
 )
 
 
 def _runtime_env_key() -> Tuple[Optional[str], ...]:
     environ = os.environ
     return tuple(environ.get(name) for name in _RUNTIME_ENV_KNOBS)
+
+
+#: Seccomp regimes that can be served by replaying a shared filter
+#: sweep (repro.experiments.seccomp_replay): regime name -> (profile
+#: role, attachment count).  ``syscall-complete`` and its 2x variant
+#: share the "complete" sweep — so does the calibration probe.
+_SECCOMP_REPLAY_VARIANTS: Dict[str, Tuple[str, int]] = {
+    REGIME_DOCKER: ("docker", 1),
+    REGIME_NOARGS: ("noargs", 1),
+    REGIME_COMPLETE: ("complete", 1),
+    REGIME_COMPLETE_2X: ("complete", 2),
+}
+
+#: fig2's Seccomp bars grouped by the backing profile: variants within
+#: a group differ only in attachment count and therefore share one
+#: filter sweep / histogram replay per (workload, profile) pair.
+SECCOMP_BAR_GROUPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("docker", (REGIME_DOCKER,)),
+    ("noargs", (REGIME_NOARGS,)),
+    ("complete", (REGIME_COMPLETE, REGIME_COMPLETE_2X)),
+)
 
 
 @dataclass
@@ -165,6 +217,47 @@ class WorkloadContext:
             raise ConfigError(f"unknown regime {name!r}") from None
         return factory()
 
+    def profile_for_role(self, role: str) -> SeccompProfile:
+        """The profile backing one Seccomp sweep role (see
+        :data:`_SECCOMP_REPLAY_VARIANTS`)."""
+        if role == "docker":
+            return _docker_profile_for(self.spec.table)
+        if role == "noargs":
+            return self.bundle.noargs
+        if role == "complete":
+            return self.bundle.complete
+        raise ConfigError(f"unknown sweep role {role!r}")
+
+    def _replay(self, regime_name: str) -> Optional[RunResult]:
+        """Serve a Seccomp evaluation from the shared filter sweep, or
+        ``None`` to run the trace for real.
+
+        Gated on both the context cache and the analytic backend: with
+        ``REPRO_ANALYTIC=0`` every run must go through the exact
+        kernels (the kill-switch contract), and replayed results are
+        byte-identical to those by the differential tests.
+        """
+        variant = _SECCOMP_REPLAY_VARIANTS.get(regime_name)
+        if variant is None:
+            return None
+        if not (result_cache.context_cache_enabled() and analytic_enabled()):
+            return None
+        from repro.experiments import seccomp_replay
+
+        role, times = variant
+        return seccomp_replay.replay_evaluation(
+            self.spec,
+            self.trace,
+            self.profile_for_role(role),
+            role,
+            self.compiler,
+            self.seed,
+            times=times,
+            costs=self.costs,
+            work_cycles=self.work_cycles,
+            base_cycles=self.syscall_base_cycles,
+        )
+
     def evaluate(self, regime_name: str, **overrides) -> RunResult:
         """Run the workload trace under a fresh instance of a regime.
 
@@ -173,7 +266,9 @@ class WorkloadContext:
         A no-override evaluation is a pure function of this context and
         the runtime env knobs, so its frozen :class:`RunResult` is
         memoised per context; overrides (unhashable cost objects) always
-        run fresh.
+        run fresh.  Seccomp regimes are additionally served by replaying
+        the persistent per-(trace, profile) filter sweep when the
+        context cache allows it.
         """
         key = None
         if not overrides:
@@ -181,14 +276,16 @@ class WorkloadContext:
             hit = self._eval_memo.get(key)
             if hit is not None:
                 return hit
-        regime = self.make_regime(regime_name, **overrides)
-        result = run_trace(
-            self.trace,
-            regime,
-            work_cycles_per_syscall=self.work_cycles,
-            syscall_base_cycles=self.syscall_base_cycles,
-            workload_name=self.spec.name,
-        )
+        result = self._replay(regime_name) if not overrides else None
+        if result is None:
+            regime = self.make_regime(regime_name, **overrides)
+            result = run_trace(
+                self.trace,
+                regime,
+                work_cycles_per_syscall=self.work_cycles,
+                syscall_base_cycles=self.syscall_base_cycles,
+                workload_name=self.spec.name,
+            )
         if key is not None:
             self._eval_memo[key] = result
         return result
@@ -220,10 +317,28 @@ def _trace_for(spec: WorkloadSpec, events: int, seed: int) -> SyscallTrace:
     hit = _TRACE_MEMO.get(key)
     if hit is not None and hit[0] is spec:
         return hit[1]
-    trace = generate_trace(spec, events, seed=seed)
-    if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
-        _TRACE_MEMO.clear()
-    _TRACE_MEMO[key] = (spec, trace)
+    trace = None
+    digest = None
+    if result_cache.context_cache_enabled():
+        digest = result_cache.context_digest(
+            "trace",
+            spec,
+            events=events,
+            seed=seed,
+            trace_format=serialize.FORMAT_VERSION_RLE,
+        )
+        trace = result_cache.ResultCache().load_trace_context(digest)
+        if trace is not None and len(trace) != events:
+            trace = None  # digest collision or stale entry: rebuild
+        telemetry.record_context_cache(
+            "trace", "hit" if trace is not None else "miss"
+        )
+    if trace is None:
+        trace = generate_trace(spec, events, seed=seed)
+        if digest is not None:
+            result_cache.ResultCache().store_trace_context(digest, trace)
+            telemetry.record_context_cache("trace", "store")
+    memo_insert(_TRACE_MEMO, key, (spec, trace), _TRACE_MEMO_LIMIT)
     return trace
 
 
@@ -255,12 +370,14 @@ def calibrate_work_cycles(
     if target is None or target <= 1.0:
         raise ConfigError(f"{spec.name}: needs a syscall-complete target > 1.0")
 
-    memo_key = (id(spec), id(trace), id(costs), compiler, seed)
+    # Keyed on the cost *values* (a frozen, hashable dataclass), not
+    # id(costs): ids get recycled after garbage collection, and the old
+    # identity guard only pinned spec and trace, so a different cost set
+    # landing on a recycled id could be served a stale W.
+    memo_key = (id(spec), id(trace), costs, compiler, seed)
     memo_hit = _CALIBRATION_MEMO.get(memo_key)
     if memo_hit is not None and memo_hit[0] is spec and memo_hit[1] is trace:
         return memo_hit[2]
-
-    from repro.experiments import cache as result_cache
 
     digest = None
     if result_cache.cache_enabled():
@@ -283,28 +400,55 @@ def calibrate_work_cycles(
             }
         )
         cached = result_cache.ResultCache().load_calibration(digest)
+        telemetry.record_context_cache(
+            "calibration", "hit" if cached is not None else "miss"
+        )
         if cached is not None:
-            if len(_CALIBRATION_MEMO) >= _CALIBRATION_MEMO_LIMIT:
-                _CALIBRATION_MEMO.clear()
-            _CALIBRATION_MEMO[memo_key] = (spec, trace, cached)
+            memo_insert(
+                _CALIBRATION_MEMO,
+                memo_key,
+                (spec, trace, cached),
+                _CALIBRATION_MEMO_LIMIT,
+            )
             return cached
 
-    regime = SeccompRegime(bundle.complete, costs=costs, compiler=compiler)
-    probe = run_trace(
-        trace,
-        regime,
-        work_cycles_per_syscall=1.0,
-        syscall_base_cycles=1.0,
-        workload_name=spec.name,
-    )
+    probe = None
+    if result_cache.context_cache_enabled() and analytic_enabled():
+        # The probe is a plain syscall-complete evaluation at W = S = 1,
+        # so it replays the same shared filter sweep the syscall-complete
+        # bars use (byte-identical mean_check_cycles by contract).
+        from repro.experiments import seccomp_replay
+
+        probe = seccomp_replay.replay_evaluation(
+            spec,
+            trace,
+            bundle.complete,
+            "complete",
+            compiler,
+            seed,
+            times=1,
+            costs=costs,
+            work_cycles=1.0,
+            base_cycles=1.0,
+        )
+    if probe is None:
+        regime = SeccompRegime(bundle.complete, costs=costs, compiler=compiler)
+        probe = run_trace(
+            trace,
+            regime,
+            work_cycles_per_syscall=1.0,
+            syscall_base_cycles=1.0,
+            workload_name=spec.name,
+        )
     c_complete = probe.mean_check_cycles
     baseline = c_complete / (target - 1.0)
     work = max(baseline - costs.syscall_base_cycles, MIN_WORK_CYCLES)
     if digest is not None:
         result_cache.ResultCache().store_calibration(digest, work)
-    if len(_CALIBRATION_MEMO) >= _CALIBRATION_MEMO_LIMIT:
-        _CALIBRATION_MEMO.clear()
-    _CALIBRATION_MEMO[memo_key] = (spec, trace, work)
+        telemetry.record_context_cache("calibration", "store")
+    memo_insert(
+        _CALIBRATION_MEMO, memo_key, (spec, trace, work), _CALIBRATION_MEMO_LIMIT
+    )
     return work
 
 
@@ -372,3 +516,16 @@ def get_context(
     if costs is None:
         costs = OLD_KERNEL_SW_COSTS if old_kernel else DEFAULT_SW_COSTS
     return _cached_context(workload, events, seed, costs, compiler)
+
+
+def reset_context_memos() -> None:
+    """Drop every in-process context memo (tests and long-lived
+    services that need to observe disk-cache behaviour afresh)."""
+    from repro.experiments import seccomp_replay
+
+    _DOCKER_MEMO.clear()
+    _TRACE_MEMO.clear()
+    _BUNDLE_MEMO.clear()
+    _CALIBRATION_MEMO.clear()
+    _cached_context.cache_clear()
+    seccomp_replay.reset_memos()

@@ -22,6 +22,7 @@ from repro.common import analytic as analytic_backend
 from repro.common import ledger as common_ledger
 from repro.common.bulk import bulk_enabled
 from repro.common.errors import SimulationError
+from repro.common.memo import memo_insert
 from repro.core.hardware import HardwareDraco
 from repro.core.software import (
     CheckOutcome,
@@ -172,9 +173,7 @@ def _programs_for(profile: SeccompProfile, compiler: str):
     if hit is not None and hit[0] is profile:
         return hit[1]
     programs = compile_profile_chunked(profile, strategy=compiler)
-    if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_LIMIT:
-        _PROGRAM_MEMO.clear()
-    _PROGRAM_MEMO[key] = (profile, programs)
+    memo_insert(_PROGRAM_MEMO, key, (profile, programs), _PROGRAM_MEMO_LIMIT)
     return programs
 
 
@@ -203,9 +202,7 @@ def _shared_outcome_memo(
     if hit is not None and hit[0] is profile and hit[1] is costs:
         return hit[2]
     memo: Dict[object, CheckOutcome] = {}
-    if len(_OUTCOME_MEMO) >= _OUTCOME_MEMO_LIMIT:
-        _OUTCOME_MEMO.clear()
-    _OUTCOME_MEMO[key] = (profile, costs, memo)
+    memo_insert(_OUTCOME_MEMO, key, (profile, costs, memo), _OUTCOME_MEMO_LIMIT)
     return memo
 
 

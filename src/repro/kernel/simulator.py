@@ -58,6 +58,11 @@ from repro.syscalls.events import SyscallEvent, SyscallTrace, iter_runs
 #: outcome-value grouping (identical under ``REPRO_BULK=0`` and ``=1``).
 SIM_KERNEL_VERSION = 2
 
+#: Fraction of a trace excluded as warm-up by default.  Exposed so
+#: out-of-band replayers (the persistent filter-sweep cache) can window
+#: a trace exactly as :func:`run_trace` would.
+DEFAULT_WARMUP_FRACTION = 0.4
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -271,6 +276,68 @@ def _run_exact_window(
             else None
         ),
         structures_telemetry=raw_stats,
+        analytic_info=AnalyticInfo(
+            mode="exact",
+            events_simulated=measured,
+            events_accounted=measured,
+            scale=1.0,
+        ),
+    )
+
+
+class _ReplayRegime:
+    """Stand-in regime for out-of-band exact replays: carries only the
+    name (for telemetry and result labelling) and keeps no ledger."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def ledger_snapshot(self):
+        return None
+
+
+def build_exact_replay_result(
+    *,
+    regime_name: str,
+    workload_name: str,
+    work_cycles_per_syscall: float,
+    syscall_base_cycles: float,
+    groups: Dict[CheckOutcome, int],
+    measured: int,
+    warmup_events: int,
+    runs_coalesced: int,
+    structures_raw: Optional[Dict[str, Any]] = None,
+) -> RunResult:
+    """Freeze an exact-replay :class:`RunResult` from outcome groups.
+
+    The seam the persistent filter-sweep cache uses
+    (:mod:`repro.experiments.seccomp_replay`): the caller reproduces the
+    outcome-value groups an exact analytic window would have produced —
+    byte-identity is the caller's contract, proven by differential
+    tests — and this function runs the common result tail
+    (:func:`_build_result`): flow expansion, conservation audit,
+    telemetry, result freezing.  The cross-audit against a live regime
+    ledger is skipped (there is no live regime), matching what
+    ``audits`` covers for sampled windows.
+    """
+    return _build_result(
+        regime=_ReplayRegime(regime_name),
+        workload_name=workload_name,
+        work_cycles_per_syscall=work_cycles_per_syscall,
+        syscall_base_cycles=syscall_base_cycles,
+        groups=groups,
+        measured=measured,
+        warmed=warmup_events,
+        runs_coalesced=runs_coalesced,
+        audits=ledger.audits_enabled(),
+        regime_before=None,
+        cross_audit=False,
+        structures=(
+            analytic_backend.sanitize_structures(structures_raw)
+            if structures_raw is not None
+            else None
+        ),
+        structures_telemetry=structures_raw,
         analytic_info=AnalyticInfo(
             mode="exact",
             events_simulated=measured,
@@ -500,7 +567,7 @@ def run_trace(
     work_cycles_per_syscall: float,
     syscall_base_cycles: float,
     workload_name: str = "",
-    warmup_fraction: float = 0.4,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     strict: bool = True,
     events_total: Optional[int] = None,
     analytic: Optional[bool] = None,

@@ -19,9 +19,10 @@ model; from a trace this module derives:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.seccomp.profile import ArgCmp, ArgSetRule, SeccompProfile, SyscallRule
+from repro.common.errors import ProfileError
+from repro.seccomp.profile import ArgCmp, ArgSetRule, CmpOp, SeccompProfile, SyscallRule
 from repro.syscalls.events import SyscallTrace
 from repro.syscalls.table import LINUX_X86_64, SyscallTable
 
@@ -94,3 +95,78 @@ def generate_bundle(
         noargs=generate_noargs(trace, name, table),
         complete=generate_complete(trace, name, table),
     )
+
+
+# ---------------------------------------------------------------------------
+# Context-cache serialisation
+# ---------------------------------------------------------------------------
+#
+# Generated bundles are pure functions of the profiling trace, which
+# makes them cacheable on disk (repro.experiments.cache).  The payload
+# preserves rule order explicitly — rule order shapes the compiled
+# filter's instruction counts, so a round-tripped bundle must compile
+# to the same programs the generated one did.
+
+
+def bundle_to_payload(bundle: ProfileBundle) -> Dict[str, Any]:
+    """JSON-ready encoding of a *generated* bundle.
+
+    ``noargs`` is the ordered sid list; ``complete`` is per-sid ordered
+    argument-set rules as ``[arg_index, value]`` pairs.  Only EQ
+    comparisons are representable — exactly what the generators emit; a
+    hand-built bundle with masked rules is rejected loudly rather than
+    silently flattened.
+    """
+    complete: List[Any] = []
+    for rule in bundle.complete.rules:
+        arg_rules = []
+        for arg_rule in rule.arg_rules:
+            for cmp_ in arg_rule.comparisons:
+                if cmp_.op is not CmpOp.EQ:
+                    raise ProfileError(
+                        f"cannot serialise non-EQ comparison in "
+                        f"{bundle.complete.name!r} (sid {rule.sid})"
+                    )
+            arg_rules.append(
+                [[cmp_.arg_index, cmp_.value] for cmp_ in arg_rule.comparisons]
+            )
+        complete.append([rule.sid, arg_rules])
+    return {
+        "noargs": [rule.sid for rule in bundle.noargs.rules],
+        "complete": complete,
+    }
+
+
+def bundle_from_payload(
+    payload: Mapping[str, Any], name: str, table: SyscallTable = LINUX_X86_64
+) -> Optional[ProfileBundle]:
+    """Rebuild a bundle from :func:`bundle_to_payload` output.
+
+    Returns ``None`` on *any* validation failure (unknown sids,
+    malformed shapes, duplicate rules) — the caller falls back to
+    regenerating from the profiling trace.
+    """
+    try:
+        noargs_rules = [SyscallRule(sid=int(sid)) for sid in payload["noargs"]]
+        complete_rules = []
+        for sid, arg_rules in payload["complete"]:
+            rules = tuple(
+                ArgSetRule(
+                    tuple(
+                        ArgCmp(int(arg_index), int(value))
+                        for arg_index, value in comparisons
+                    )
+                )
+                for comparisons in arg_rules
+            )
+            complete_rules.append(SyscallRule(sid=int(sid), arg_rules=rules))
+        return ProfileBundle(
+            noargs=SeccompProfile(
+                f"{name}:syscall-noargs", noargs_rules, table=table
+            ),
+            complete=SeccompProfile(
+                f"{name}:syscall-complete", complete_rules, table=table
+            ),
+        )
+    except (ProfileError, KeyError, TypeError, ValueError):
+        return None

@@ -13,7 +13,10 @@ import doctest
 import pytest
 
 
-@pytest.mark.parametrize("module_name", ["repro.common.analytic", "repro.common.bulk"])
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.common.analytic", "repro.common.bulk", "repro.common.memo"],
+)
 def test_module_doctests(module_name):
     module = __import__(module_name, fromlist=["_"])
     results = doctest.testmod(module, verbose=False)

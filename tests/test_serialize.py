@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.syscalls.events import SyscallEvent, SyscallTrace, make_event
 from repro.syscalls.serialize import (
+    FORMAT_VERSION_RLE,
     TraceFormatError,
     dumps,
     load,
@@ -61,6 +62,72 @@ class TestRoundTrip:
         )
         restored = loads(dumps(trace)) if len(trace) else trace
         assert [e.key for e in restored] == [e.key for e in trace]
+
+
+class TestRleFormat:
+    """Version 2: run-length encoding with an interned event table."""
+
+    def test_round_trip(self, trace):
+        restored = loads(dumps(trace, version=FORMAT_VERSION_RLE))
+        assert [e.key for e in restored] == [e.key for e in trace]
+        assert [e.pc for e in restored] == [e.pc for e in trace]
+
+    def test_workload_round_trip(self):
+        original = generate_trace(CATALOG["fifo-ipc"], 400)
+        restored = loads(dumps(original, version=FORMAT_VERSION_RLE))
+        assert [e.key for e in restored] == [e.key for e in original]
+
+    def test_interning_preserves_identity_runs(self):
+        """Re-loaded traces intern one instance per distinct event, so
+        iter_runs coalesces with pointer comparisons as for generated
+        traces."""
+        original = generate_trace(CATALOG["fifo-ipc"], 400)
+        restored = loads(dumps(original, version=FORMAT_VERSION_RLE))
+        seen = {}
+        for event in restored:
+            assert seen.setdefault((event.sid, event.args, event.pc), event) is event
+        assert list(c for _e, c in restored.iter_runs()) == list(
+            c for _e, c in original.iter_runs()
+        )
+
+    def test_rle_is_smaller_for_repetitive_traces(self):
+        trace = SyscallTrace([make_event("getppid")] * 500)
+        assert len(dumps(trace, version=FORMAT_VERSION_RLE)) < len(dumps(trace))
+
+    def test_unknown_write_version_rejected(self, trace):
+        with pytest.raises(TraceFormatError):
+            dumps(trace, version=3)
+
+    def _header(self, count, distinct):
+        return (
+            '{"format": "repro-trace", "version": 2, '
+            f'"count": {count}, "distinct": {distinct}}}\n'
+        )
+
+    def test_bad_distinct_count(self):
+        with pytest.raises(TraceFormatError):
+            loads('{"format": "repro-trace", "version": 2, "count": 0, "distinct": -1}\n')
+        with pytest.raises(TraceFormatError):
+            loads(self._header(1, 5) + '{"sid": 0, "args": [], "pc": 0}\n')
+
+    def test_bad_event_line(self):
+        with pytest.raises(TraceFormatError):
+            loads(self._header(1, 1) + '{"sid": "x"}\n[0, 1]\n')
+
+    def test_run_index_out_of_range(self):
+        text = self._header(1, 1) + '{"sid": 0, "args": [], "pc": 0}\n[7, 1]\n'
+        with pytest.raises(TraceFormatError):
+            loads(text)
+
+    def test_non_positive_run_count(self):
+        text = self._header(0, 1) + '{"sid": 0, "args": [], "pc": 0}\n[0, 0]\n'
+        with pytest.raises(TraceFormatError):
+            loads(text)
+
+    def test_count_mismatch(self):
+        text = self._header(9, 1) + '{"sid": 0, "args": [], "pc": 0}\n[0, 3]\n'
+        with pytest.raises(TraceFormatError):
+            loads(text)
 
 
 class TestErrors:
