@@ -32,6 +32,15 @@ CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
 #: unaffected.
 CONTEXT_CACHE_ENV = "REPRO_CONTEXT_CACHE"
 
+#: Kill switch for the stage-graph orchestrator
+#: (:mod:`repro.experiments.stages`).  ``0``/``off``/``false``/``no``
+#: falls back to the flat per-experiment engine, whose output is
+#: byte-identical by differential test.
+STAGE_GRAPH_ENV = "REPRO_STAGE_GRAPH"
+
+def _truthy(name: str) -> bool:
+    return os.environ.get(name, "1").lower() not in ("0", "off", "false", "no")
+
 
 def cache_enabled() -> bool:
     """True unless ``REPRO_CACHE_DISABLE`` is set to a non-empty value."""
@@ -47,12 +56,18 @@ def context_cache_enabled() -> bool:
     """
     if not cache_enabled():
         return False
-    return os.environ.get(CONTEXT_CACHE_ENV, "1").lower() not in (
-        "0",
-        "off",
-        "false",
-        "no",
-    )
+    return _truthy(CONTEXT_CACHE_ENV)
+
+
+def stage_graph_enabled() -> bool:
+    """True when the stage-graph orchestrator is active (the default).
+
+    Unlike the context cache this does not require the disk cache: the
+    scheduler passes stage payloads through the parent process, so the
+    graph (and its cross-experiment dedup) still works under
+    ``--no-cache`` — only the persistent ``stages/`` tier is skipped.
+    """
+    return _truthy(STAGE_GRAPH_ENV)
 
 
 def cache_root() -> Path:

@@ -258,6 +258,10 @@ class ExperimentRecord:
     status: str = "ok"  # "ok" | "failed"
     cache: str = CACHE_OFF
     wall_time_s: float = 0.0
+    #: Total compute time attributed to the experiment.  Differs from
+    #: ``wall_time_s`` when work ran concurrently: a shard merge
+    #: reports the *max* shard time as wall time and the sum here.
+    cpu_time_s: float = 0.0
     params_digest: str = ""
     error: str = ""
     simulation: Dict[str, Any] = field(default_factory=dict)
@@ -273,6 +277,7 @@ class ExperimentRecord:
             "status": self.status,
             "cache": self.cache,
             "wall_time_s": round(self.wall_time_s, 4),
+            "cpu_time_s": round(self.cpu_time_s, 4),
             "params_digest": self.params_digest,
             "error": self.error,
             "simulation": self.simulation,
@@ -286,6 +291,7 @@ class ExperimentRecord:
             status=payload.get("status", "ok"),
             cache=payload.get("cache", CACHE_OFF),
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            cpu_time_s=float(payload.get("cpu_time_s", 0.0)),
             params_digest=payload.get("params_digest", ""),
             error=payload.get("error", ""),
             simulation=dict(payload.get("simulation", {})),
@@ -354,6 +360,28 @@ class RunReport:
     def mean_run_length(self) -> float:
         runs = self.runs_coalesced()
         return self.events_simulated() / runs if runs else 0.0
+
+    def stage_counters(self) -> Dict[str, int]:
+        """Stage-graph hit/exec/dedup/store totals summed across records
+        (empty when the run used the flat engine)."""
+        merged: Dict[str, int] = {}
+        for record in self.records:
+            block = record.simulation.get("stages", {})
+            for outcome, count in block.get("counters", {}).items():
+                merged[outcome] = merged.get(outcome, 0) + count
+        return merged
+
+    def stage_detail(self) -> List[Dict[str, Any]]:
+        """Per-stage rows (experiment, kind, label, status, elapsed)
+        flattened across records, in record order."""
+        rows: List[Dict[str, Any]] = []
+        for record in self.records:
+            block = record.simulation.get("stages", {})
+            for entry in block.get("detail", []):
+                row = dict(entry)
+                row["experiment_id"] = record.experiment_id
+                rows.append(row)
+        return rows
 
     def regime_cycles(self) -> Dict[str, float]:
         totals: Dict[str, float] = {}
@@ -536,6 +564,62 @@ class RunReport:
             if len(last_line) > 160:
                 last_line = last_line[:157] + "..."
             lines.append(f"FAILED {record.experiment_id}: {last_line}")
+        return "\n".join(lines)
+
+    def format_stages(self, top: int = 15) -> str:
+        """Stage-graph telemetry (the ``summary --stages`` rendering).
+
+        Shows the per-kind status counters and the ``top`` slowest
+        executed stages — the floor the next perf pass should look at.
+        """
+        detail = self.stage_detail()
+        if not detail:
+            return (
+                "== stages\n(no stage telemetry recorded — run with "
+                "REPRO_STAGE_GRAPH=1, the default)"
+            )
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for row in detail:
+            bucket = by_kind.setdefault(row["kind"], {})
+            bucket[row["status"]] = bucket.get(row["status"], 0) + 1
+        header = ("kind", "exec", "hit", "dedup", "failed", "total")
+        rows = [header]
+        for kind in sorted(by_kind):
+            bucket = by_kind[kind]
+            rows.append(
+                (
+                    kind,
+                    str(bucket.get("exec", 0)),
+                    str(bucket.get("hit", 0)),
+                    str(bucket.get("dedup", 0)),
+                    str(bucket.get("failed", 0)),
+                    str(sum(bucket.values())),
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["== stages (REPRO_STAGE_GRAPH)"]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if index == 0:
+                lines.append("-" * len(lines[-1]))
+        counters = self.stage_counters()
+        lines.append(
+            f"totals: {counters.get('executed', 0)} executed / "
+            f"{counters.get('hit', 0)} hit / {counters.get('dedup', 0)} dedup / "
+            f"{counters.get('stored', 0)} stored / {counters.get('failed', 0)} failed"
+        )
+        executed = sorted(
+            (row for row in detail if row["status"] == "exec"),
+            key=lambda row: row.get("elapsed_s", 0.0),
+            reverse=True,
+        )[:top]
+        if executed:
+            lines.append(f"slowest executed stages (top {len(executed)}):")
+            for row in executed:
+                lines.append(
+                    f"  {row.get('elapsed_s', 0.0):7.3f}s  "
+                    f"{row['experiment_id']:<8}  {row['label']}"
+                )
         return "\n".join(lines)
 
     def format_flows(self) -> str:

@@ -52,7 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-shard", action="store_true",
         help="do not split shardable experiments (fig11/fig12/fig13) into "
-        "per-workload subtasks under --jobs",
+        "per-workload subtasks under --jobs (flat-engine path only)",
+    )
+    parser.add_argument(
+        "--no-stage-graph", action="store_true",
+        help="run the flat per-experiment engine instead of the stage-graph "
+        "orchestrator (equivalent to REPRO_STAGE_GRAPH=0)",
     )
     cache_group = parser.add_mutually_exclusive_group()
     cache_group.add_argument(
@@ -103,6 +108,11 @@ def _summary_main(argv) -> int:
         help="also render the per-regime flow ledger (Table I flows) and "
         "its conservation audit; exits non-zero on drift",
     )
+    parser.add_argument(
+        "--stages", action="store_true",
+        help="also render per-stage hit/exec/dedup counters and the "
+        "slowest executed stages of the stage-graph orchestrator",
+    )
     args = parser.parse_args(argv)
     if args.cache_dir:
         import os
@@ -114,6 +124,9 @@ def _summary_main(argv) -> int:
         return 1
     report = RunReport.read(path)
     print(report.format_summary())
+    if args.stages:
+        print()
+        print(report.format_stages())
     if args.flows:
         print()
         print(report.format_flows())
@@ -142,15 +155,27 @@ def main(argv=None) -> int:
     else:
         cache_mode = engine.CACHE_ON
 
-    run = engine.run_suite(
-        args.experiments or None,
-        events=args.events,
-        seed=args.seed,
-        jobs=1 if args.serial else max(args.jobs, 1),
-        cache_mode=cache_mode,
-        cache_dir=args.cache_dir,
-        shard=not args.no_shard,
-    )
+    import os
+
+    saved_stage_graph = os.environ.get(result_cache.STAGE_GRAPH_ENV)
+    if args.no_stage_graph:
+        os.environ[result_cache.STAGE_GRAPH_ENV] = "0"
+    try:
+        run = engine.run_suite(
+            args.experiments or None,
+            events=args.events,
+            seed=args.seed,
+            jobs=1 if args.serial else max(args.jobs, 1),
+            cache_mode=cache_mode,
+            cache_dir=args.cache_dir,
+            shard=not args.no_shard,
+        )
+    finally:
+        if args.no_stage_graph:
+            if saved_stage_graph is None:
+                os.environ.pop(result_cache.STAGE_GRAPH_ENV, None)
+            else:
+                os.environ[result_cache.STAGE_GRAPH_ENV] = saved_stage_graph
 
     markdown_parts = []
     for outcome in run.outcomes:

@@ -28,10 +28,20 @@ Context entries are versioned JSON documents keyed by
 :mod:`repro.syscalls.serialize`.  A corrupt, truncated, or
 schema-drifted entry always reads as a miss and the caller rebuilds.
 
+A fourth tier is the **stage cache** (``stages/``): intermediate
+payloads of the stage-graph orchestrator
+(:mod:`repro.experiments.stages`) — trace/calibration manifests and
+full evaluation ``RunResult`` JSON — keyed by content digests that
+fold each stage's parameters, its upstream stage digests, the code
+fingerprint, and ``STAGE_FORMAT_VERSION``.  Terminal analysis results
+do *not* live here: they store in ``results/`` under the flat
+per-experiment digest, so both engine paths share warm hits.
+
 Layout (under :func:`cache_root`, default ``~/.cache/repro-draco`` or
 ``$REPRO_CACHE_DIR``)::
 
     results/<experiment_id>/<digest>.json    cached ExperimentResult
+    stages/<kind>/<digest>.json              intermediate stage payloads
     calibration/<digest>.json                cached work-cycle value
     contexts/trace/<digest>.jsonl            RLE-serialised traces
     contexts/<kind>/<digest>.json            other context artifacts
@@ -62,9 +72,11 @@ from repro.common.storage import (
     CACHE_DIR_ENV,
     CACHE_DISABLE_ENV,
     CONTEXT_CACHE_ENV,
+    STAGE_GRAPH_ENV,
     cache_enabled,
     cache_root,
     context_cache_enabled,
+    stage_graph_enabled,
 )
 from repro.common.storage import atomic_write_text as _atomic_write
 from repro.common.storage import read_json as _read_json
@@ -80,6 +92,8 @@ __all__ = [
     "CONTEXT_FORMAT_VERSION",
     "COMPILER_VERSION",
     "SIM_KERNEL_VERSION",
+    "STAGE_FORMAT_VERSION",
+    "STAGE_GRAPH_ENV",
     "ResultCache",
     "cache_enabled",
     "cache_root",
@@ -88,6 +102,7 @@ __all__ = [
     "context_digest",
     "params_digest",
     "spec_payload",
+    "stage_graph_enabled",
 ]
 
 #: Version of the context-cache serialisation contract.  Bumped when
@@ -97,6 +112,14 @@ CONTEXT_FORMAT_VERSION = 1
 
 #: Wrapper format marker on every generic context document.
 _CONTEXT_FORMAT_NAME = "repro-context"
+
+#: Version of the per-stage cache serialisation contract
+#: (:mod:`repro.experiments.stages`).  Folded into every stage digest,
+#: so bumping it invalidates the whole ``stages/`` tier at once.
+STAGE_FORMAT_VERSION = 1
+
+#: Wrapper format marker on every stage document.
+_STAGE_FORMAT_NAME = "repro-stage"
 
 
 @lru_cache(maxsize=1)
@@ -152,6 +175,15 @@ class ResultCache:
 
     def result_path(self, experiment_id: str, digest: str) -> Path:
         return self.root / "results" / experiment_id / f"{digest}.json"
+
+    def has_result(self, experiment_id: str, digest: str) -> bool:
+        """Cheap stat-based existence probe, for callers that only need
+        to know *whether* a result is cached (the engine's pre-shard
+        check) without paying the JSON parse + deserialize of
+        :meth:`load_result`.  A torn entry can stat as present and
+        still read as a miss later — the existence answer is advisory,
+        never load-bearing."""
+        return self.result_path(experiment_id, digest).is_file()
 
     def load_result(self, experiment_id: str, digest: str) -> Optional[ExperimentResult]:
         payload = _read_json(self.result_path(experiment_id, digest))
@@ -232,6 +264,39 @@ class ResultCache:
         _atomic_write(
             self.context_path("trace", digest, suffix=".jsonl"),
             serialize.dumps(trace, version=serialize.FORMAT_VERSION_RLE),
+        )
+
+    # -- stage payloads -------------------------------------------------
+
+    def stage_path(self, kind: str, digest: str) -> Path:
+        return self.root / "stages" / kind / f"{digest}.json"
+
+    def load_stage(self, kind: str, digest: str) -> Optional[Any]:
+        """The ``data`` payload of a stored stage document, or ``None``
+        on any miss: absent file, torn write, bad JSON, wrong wrapper
+        format/kind, or a ``STAGE_FORMAT_VERSION`` mismatch."""
+        payload = _read_json(self.stage_path(kind, digest))
+        if not isinstance(payload, Mapping):
+            return None
+        if (
+            payload.get("format") != _STAGE_FORMAT_NAME
+            or payload.get("version") != STAGE_FORMAT_VERSION
+            or payload.get("kind") != kind
+            or "data" not in payload
+        ):
+            return None
+        return payload["data"]
+
+    def store_stage(self, kind: str, digest: str, data: Any) -> None:
+        document = {
+            "format": _STAGE_FORMAT_NAME,
+            "version": STAGE_FORMAT_VERSION,
+            "kind": kind,
+            "data": data,
+        }
+        _atomic_write(
+            self.stage_path(kind, digest),
+            json.dumps(document, sort_keys=True, separators=(",", ":")),
         )
 
 

@@ -21,6 +21,15 @@ Runs registry entries across a :class:`~concurrent.futures.ProcessPoolExecutor`
 Cache coordination across worker processes happens through the
 ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_DISABLE`` environment variables,
 set (and restored) around the suite so forked workers inherit them.
+
+By default (``REPRO_STAGE_GRAPH=1``) the suite is executed by the
+stage-graph orchestrator (:mod:`repro.experiments.stages`): each
+experiment is decomposed into content-addressed trace / calibration /
+per-(workload, regime) evaluation / analysis stages, shared stages
+execute once per run, and ``--refresh`` recomputes only the analysis
+tier.  ``REPRO_STAGE_GRAPH=0`` falls back to the flat per-experiment
+path below — including its per-figure :data:`SHARDABLE` machinery —
+with byte-identical markdown output.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from repro.common import telemetry
 from repro.common.rng import derive_seed
 from repro.experiments import cache as result_cache
 from repro.experiments import fig11_draco_sw, fig12_draco_hw, fig13_hit_rates
+from repro.experiments import stages as stage_graph
 from repro.experiments.registry import REGISTRY, by_id
 from repro.experiments.results import ExperimentResult
 from repro.workloads.catalog import CATALOG
@@ -50,6 +60,9 @@ CACHE_REFRESH = "refresh"  # recompute everything, then repopulate
 #: byte-identically from per-workload shards.  Under ``jobs > 1`` the
 #: engine splits these into one subtask per catalog workload so the
 #: longest experiments parallelise instead of serialising one worker.
+#: Only used on the flat (``REPRO_STAGE_GRAPH=0``) fallback path: the
+#: stage graph schedules per-(workload, regime) stages directly, so
+#: sharding falls out of the DAG with no per-figure special-casing.
 SHARDABLE = {
     "fig11": fig11_draco_sw.merge_shards,
     "fig12": fig12_draco_hw.merge_shards,
@@ -162,7 +175,10 @@ def _merge_shard_payloads(
         title=records[0].title,
         status="failed" if failures else "ok",
         cache=cache_status,
-        wall_time_s=sum(r.wall_time_s for r in records),
+        # Shards ran concurrently: the experiment's wall time is the
+        # slowest shard, while the summed time is compute (CPU) cost.
+        wall_time_s=max((r.wall_time_s for r in records), default=0.0),
+        cpu_time_s=sum(r.wall_time_s for r in records),
         params_digest=digest,
         error="\n".join(r.error for r in failures if r.error),
         simulation=telemetry.merge_simulations([r.simulation for r in records]),
@@ -244,6 +260,22 @@ def run_suite(
         started_at=time.time(),
     )
     try:
+        if result_cache.stage_graph_enabled():
+            # Stage-graph path (the default): decompose experiments
+            # into content-addressed stages, dedup shared ones across
+            # experiments, and schedule the DAG over the pool.  The
+            # flat path below stays behind REPRO_STAGE_GRAPH=0 with
+            # byte-identical markdown output (differential test).
+            payloads = stage_graph.execute_suite(
+                [
+                    (experiment_id, _task_kwargs(experiment_id, events, seed, run_overrides))
+                    for experiment_id in ids
+                ],
+                jobs=jobs,
+                cache_mode=cache_mode,
+            )
+            return _assemble_run(report, payloads)
+
         # The plan is built after the cache env is applied so the
         # pre-shard cache probe below sees the right cache root.
         # plan: (experiment_id, kwargs, shard_count); shard_count == 0
@@ -261,7 +293,11 @@ def run_suite(
             )
             if shardable and cache_mode == CACHE_ON:
                 digest = store.result_key(experiment_id, kwargs)
-                if store.load_result(experiment_id, digest) is not None:
+                # A stat is enough here: the probe only decides whether
+                # to fan out, and a torn entry surfacing as "present"
+                # still reads as a miss in the unsharded worker, which
+                # then recomputes — correctness never rests on this.
+                if store.has_result(experiment_id, digest):
                     shardable = False  # whole result cached: serve it directly
             if shardable:
                 shards = [dict(kwargs, workloads=(name,)) for name in CATALOG]
@@ -304,6 +340,13 @@ def run_suite(
             else:
                 os.environ[key] = value
 
+    return _assemble_run(report, payloads)
+
+
+def _assemble_run(
+    report: telemetry.RunReport, payloads: List[Dict[str, Any]]
+) -> SuiteRun:
+    """Deserialize worker payloads into a SuiteRun, in payload order."""
     run = SuiteRun(report=report)
     for payload in payloads:
         record = telemetry.ExperimentRecord.from_json_dict(payload["record"])

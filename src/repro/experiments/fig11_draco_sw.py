@@ -18,6 +18,7 @@ from repro.experiments.results import (
     merge_shard_rows,
 )
 from repro.experiments.runner import get_context
+from repro.experiments.stages import EvalPlan
 from repro.workloads.catalog import CATALOG
 
 PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -40,6 +41,11 @@ PAPER_AVERAGES = {
 #: Rounding applied to every value row (averages are computed from the
 #: rounded rows, so shard merges reproduce them exactly).
 ROW_DECIMALS = 3
+
+#: Stage-graph DAG: the six Seccomp/software-Draco regimes per
+#: workload.  The three Seccomp evaluations are shared with fig2, and
+#: trace/calibration stages with every other catalog experiment.
+STAGE_PLAN = EvalPlan(regimes=tuple(r for pair in PAIRS for r in pair))
 
 
 def run(

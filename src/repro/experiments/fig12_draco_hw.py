@@ -17,6 +17,7 @@ from repro.experiments.results import (
     merge_shard_rows,
 )
 from repro.experiments.runner import get_context
+from repro.experiments.stages import EvalPlan
 from repro.workloads.catalog import CATALOG
 
 REGIMES: Tuple[str, ...] = (
@@ -24,6 +25,11 @@ REGIMES: Tuple[str, ...] = (
     "draco-hw-complete",
     "draco-hw-complete-2x",
 )
+
+#: Stage-graph DAG: the ``draco-hw-complete`` evaluation is shared
+#: with fig13 and the flow-mix extension, so it executes once per
+#: suite run and all three read the same stage payload.
+STAGE_PLAN = EvalPlan(regimes=REGIMES)
 
 PAPER_AVERAGE_OVERHEAD = 0.01
 

@@ -23,8 +23,15 @@ from typing import Optional, Sequence, Tuple
 from repro.common.rng import DEFAULT_SEED
 from repro.experiments.results import ExperimentResult, merge_shard_rows
 from repro.experiments.runner import get_context
+from repro.experiments.stages import EvalPlan
 from repro.kernel.simulator import run_trace
 from repro.workloads.catalog import CATALOG
+
+#: Stage-graph DAG: one shared ``draco-hw-complete`` evaluation per
+#: workload (the same stage fig12 and flow-mix consume); the hit rates
+#: are read from its structure counters, with the fresh-run fallback
+#: below when the payload carries none.
+STAGE_PLAN = EvalPlan(regimes=("draco-hw-complete",))
 
 #: The four applications the paper singles out for lower SLB rates.
 PAPER_LOW_SLB = ("httpd", "elasticsearch", "mysql", "redis")

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 from repro.common.rng import DEFAULT_SEED
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import SECCOMP_BAR_GROUPS, get_context
+from repro.experiments.stages import EvalPlan
 from repro.workloads.catalog import (
     CATALOG,
     REGIME_INSECURE,
@@ -29,6 +30,11 @@ from repro.workloads.catalog import (
 )
 
 REGIMES: Tuple[str, ...] = (REGIME_INSECURE,) + SECCOMP_REGIMES
+
+#: DAG declaration for the stage-graph orchestrator: one evaluation
+#: stage per (workload, regime); rows are assembled by the unchanged
+#: :func:`run` over the seeded evaluations.
+STAGE_PLAN = EvalPlan(regimes=REGIMES)
 
 
 def run(

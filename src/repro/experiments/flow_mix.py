@@ -21,7 +21,12 @@ from repro.common.rng import DEFAULT_SEED
 from repro.core.flows import Flow
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import get_context
+from repro.experiments.stages import EvalPlan
 from repro.workloads.catalog import CATALOG
+
+#: Stage-graph DAG: reads the same shared ``draco-hw-complete``
+#: evaluation stage as fig12 and fig13.
+STAGE_PLAN = EvalPlan(regimes=("draco-hw-complete",))
 
 FLOW_ORDER = (
     Flow.FLOW_1,

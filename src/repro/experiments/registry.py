@@ -8,7 +8,7 @@ regenerates it and the benchmark that exercises it, so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     bitmap_comparison,
@@ -38,11 +38,16 @@ class Experiment:
     title: str
     run: Callable[..., ExperimentResult]
     benchmark: str  # pytest-benchmark target that regenerates it
+    #: Declarative DAG plan (:class:`repro.experiments.stages.EvalPlan`)
+    #: for the stage-graph orchestrator; ``None`` runs the experiment
+    #: monolithically as a single terminal stage.
+    stage_plan: Optional[Any] = None
 
 
 REGISTRY: Tuple[Experiment, ...] = (
     Experiment("fig2", "Seccomp checking overhead", fig2_seccomp_overhead.run,
-               "benchmarks/test_fig2_seccomp_overhead.py"),
+               "benchmarks/test_fig2_seccomp_overhead.py",
+               stage_plan=fig2_seccomp_overhead.STAGE_PLAN),
     Experiment("fig3", "System call locality", fig3_locality.run,
                "benchmarks/test_fig3_locality.py"),
     Experiment("table1", "Draco execution flows", table1_flows.run,
@@ -50,11 +55,14 @@ REGISTRY: Tuple[Experiment, ...] = (
     Experiment("table2", "Architectural configuration", table2_config.run,
                "benchmarks/test_table2_config.py"),
     Experiment("fig11", "Software Draco vs Seccomp", fig11_draco_sw.run,
-               "benchmarks/test_fig11_draco_sw.py"),
+               "benchmarks/test_fig11_draco_sw.py",
+               stage_plan=fig11_draco_sw.STAGE_PLAN),
     Experiment("fig12", "Hardware Draco", fig12_draco_hw.run,
-               "benchmarks/test_fig12_draco_hw.py"),
+               "benchmarks/test_fig12_draco_hw.py",
+               stage_plan=fig12_draco_hw.STAGE_PLAN),
     Experiment("fig13", "STB/SLB hit rates", fig13_hit_rates.run,
-               "benchmarks/test_fig13_hit_rates.py"),
+               "benchmarks/test_fig13_hit_rates.py",
+               stage_plan=fig13_hit_rates.STAGE_PLAN),
     Experiment("fig14", "Argument count distribution", fig14_arg_distribution.run,
                "benchmarks/test_fig14_arg_distribution.py"),
     Experiment("fig15", "Profile security metrics", fig15_security.run,
@@ -64,11 +72,13 @@ REGISTRY: Tuple[Experiment, ...] = (
     Experiment("vat", "VAT memory consumption", vat_footprint.run,
                "benchmarks/test_vat_footprint.py"),
     Experiment("fig16", "Old-kernel Seccomp overhead", fig16_old_kernel.run,
-               "benchmarks/test_fig16_old_kernel.py"),
+               "benchmarks/test_fig16_old_kernel.py",
+               stage_plan=fig16_old_kernel.STAGE_PLAN),
     Experiment("fig17", "Old-kernel software Draco", fig17_old_kernel_sw.run,
-               "benchmarks/test_fig17_old_kernel_sw.py"),
+               "benchmarks/test_fig17_old_kernel_sw.py",
+               stage_plan=fig17_old_kernel_sw.STAGE_PLAN),
     Experiment("flowmix", "Table I flow occupancy (extension)", flow_mix.run,
-               "benchmarks/test_flow_mix.py"),
+               "benchmarks/test_flow_mix.py", stage_plan=flow_mix.STAGE_PLAN),
     Experiment("bitmap", "Draco vs 5.11 action-cache bitmap (extension)",
                bitmap_comparison.run, "benchmarks/test_bitmap_comparison.py"),
 )

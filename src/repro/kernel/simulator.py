@@ -107,6 +107,79 @@ class RunResult:
     def flow_ledger(self) -> ledger.FlowLedger:
         return ledger.FlowLedger(self.flow_counts, self.flow_cycles)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload that round-trips **exactly**.
+
+        Every field is an int, str, float, or a flat dict of them, and
+        JSON encodes Python floats with shortest-round-trip repr, so
+        ``from_json_dict(json.loads(json.dumps(to_json_dict())))``
+        reconstructs an equal :class:`RunResult` bit for bit — the
+        property the per-stage result cache
+        (:mod:`repro.experiments.stages`) relies on.
+        """
+        payload: Dict[str, Any] = {
+            "workload": self.workload,
+            "regime": self.regime,
+            "events_measured": self.events_measured,
+            "work_cycles_per_syscall": self.work_cycles_per_syscall,
+            "syscall_base_cycles": self.syscall_base_cycles,
+            "mean_check_cycles": self.mean_check_cycles,
+            "normalized_time": self.normalized_time,
+            "path_counts": dict(self.path_counts),
+            "flow_counts": dict(self.flow_counts),
+            "flow_cycles": dict(self.flow_cycles),
+            "total_check_cycles": self.total_check_cycles,
+            "warmup_events": self.warmup_events,
+            "structures": self.structures,
+            "analytic": (
+                None
+                if self.analytic is None
+                else {
+                    "mode": self.analytic.mode,
+                    "events_simulated": self.analytic.events_simulated,
+                    "events_accounted": self.analytic.events_accounted,
+                    "scale": self.analytic.scale,
+                    "error_estimate": self.analytic.error_estimate,
+                }
+            ),
+        }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        analytic = payload.get("analytic")
+        structures = payload.get("structures")
+        return cls(
+            workload=payload["workload"],
+            regime=payload["regime"],
+            events_measured=payload["events_measured"],
+            work_cycles_per_syscall=payload["work_cycles_per_syscall"],
+            syscall_base_cycles=payload["syscall_base_cycles"],
+            mean_check_cycles=payload["mean_check_cycles"],
+            normalized_time=payload["normalized_time"],
+            path_counts=dict(payload["path_counts"]),
+            flow_counts=dict(payload.get("flow_counts", {})),
+            flow_cycles=dict(payload.get("flow_cycles", {})),
+            total_check_cycles=payload.get("total_check_cycles", 0.0),
+            warmup_events=payload.get("warmup_events", 0),
+            structures=(
+                {name: dict(counters) for name, counters in structures.items()}
+                if structures is not None
+                else None
+            ),
+            analytic=(
+                None
+                if analytic is None
+                else AnalyticInfo(
+                    mode=analytic["mode"],
+                    events_simulated=analytic["events_simulated"],
+                    events_accounted=analytic["events_accounted"],
+                    scale=analytic["scale"],
+                    error_estimate=analytic.get("error_estimate"),
+                )
+            ),
+        )
+
 
 def _deny(regime: CheckingRegime, event: SyscallEvent) -> None:
     raise SimulationError(
