@@ -1,0 +1,173 @@
+"""Benchmark for the fleet-scale FaaS serving model (``repro.kernel.fleet``).
+
+Measures, in a fresh subprocess (cold in-process memos):
+
+* ``default_run`` — the experiment's default scenario (both dispatch
+  policies over the shared calibration + load): wall time and serving
+  throughput in invocations/s, with the ISSUE's scale floor asserted
+  (>= 1000 tenants, >= 1e5 invocations);
+* ``scaling`` — a mostly-idle 5000-tenant fleet, whose throughput
+  collapses if any serving loop rescans the tenant population per
+  event (the O(N) guard as a perf number rather than a timeout).
+
+``--check`` gates throughput against the committed ``BENCH_fleet.json``
+with a 30% tolerance; ``--update`` refreshes the baseline in place.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py              # measure + write
+    PYTHONPATH=src python benchmarks/bench_fleet.py --check      # CI gate
+    PYTHONPATH=src python benchmarks/bench_fleet.py --update     # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+#: Allowed fractional throughput regression before --check fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: Scale floor of the default scenario (the acceptance criteria).
+MIN_TENANTS = 1000
+MIN_INVOCATIONS = 100_000
+
+_CHILD = """
+import json, sys, time
+from repro.kernel.fleet import (
+    POLICIES, FleetParams, calibrate_classes, generate_load, simulate_fleet,
+)
+
+config = json.loads(sys.argv[1])
+params = FleetParams(**config["params"])
+classes = calibrate_classes(params)
+load = generate_load(params)
+started = time.perf_counter()
+results = {
+    policy: simulate_fleet(
+        params, policy, classes=classes, load=load, record_telemetry=False
+    )
+    for policy in POLICIES
+}
+wall = time.perf_counter() - started
+served = sum(r.invocations for r in results.values())
+sample = results[POLICIES[0]]
+print(json.dumps({
+    "wall_s": round(wall, 3),
+    "invocations_per_s": round(served / wall, 1),
+    "tenants": params.tenants,
+    "invocations": params.invocations,
+    "syscalls": sample.syscalls,
+    "cold_starts": sample.counters["cold_starts"],
+    "cold_resume_storms": sample.counters["cold_resume_storms"],
+    "extrapolated_gb": round(sample.footprint["extrapolated_gb"], 3),
+}))
+"""
+
+
+def _run_child(params: dict) -> dict:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(Path(__file__).resolve().parents[1] / "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, json.dumps({"params": params})],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def measure(args) -> dict:
+    default = _run_child({})  # FleetParams defaults: the experiment scenario
+    if default["tenants"] < MIN_TENANTS or default["invocations"] < MIN_INVOCATIONS:
+        raise RuntimeError(
+            f"default fleet scenario below scale floor: "
+            f"{default['tenants']} tenants / {default['invocations']} invocations "
+            f"(need >= {MIN_TENANTS} / >= {MIN_INVOCATIONS})"
+        )
+    scaling = _run_child(
+        {
+            "tenants": 5000,
+            "invocations": 50_000,
+            "function_classes": 2,
+            "workers": 32,
+            "max_containers": 64,
+            "keep_alive_ms": 50.0,
+        }
+    )
+    return {
+        "default_run": default,
+        "scaling": scaling,
+        "throughput": {
+            "default_invocations_per_s": default["invocations_per_s"],
+            "scaling_invocations_per_s": scaling["invocations_per_s"],
+        },
+    }
+
+
+def check_regression(measured: dict, baseline: dict, tolerance: float) -> int:
+    failures = []
+    for name in ("default_invocations_per_s", "scaling_invocations_per_s"):
+        current = measured["throughput"][name]
+        reference = baseline.get("throughput", {}).get(name)
+        if reference is None:
+            failures.append(f"throughput.{name}: missing from baseline")
+            continue
+        floor = reference * (1.0 - tolerance)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"throughput.{name:28s} {current:10.1f}/s  "
+            f"(baseline {reference:.1f}/s, floor {floor:.1f}/s)  {status}"
+        )
+        if current < floor:
+            failures.append(
+                f"throughput.{name}: {current:.1f}/s < {floor:.1f}/s "
+                f"(baseline {reference:.1f}/s, tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("fleet throughput within tolerance; scale floor met")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measurement to the baseline file",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    measured = measure(args)
+    print(json.dumps(measured, indent=2))
+
+    target = args.output or (args.baseline if args.update else None)
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"wrote {target}")
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError):
+            print(f"no readable baseline at {args.baseline}; failing --check")
+            return 1
+        return check_regression(measured, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

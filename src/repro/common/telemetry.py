@@ -67,6 +67,9 @@ class SimulationCounters:
     #: "bundle", "sweep", "calibration"): how many disk probes hit,
     #: missed, and how many rebuilt artifacts were stored back.
     context_cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Fleet-serving counters, per dispatch policy: cold/warm starts,
+    #: evictions, keep-alive expiries, cold-resume storms, pool peaks.
+    fleet: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         flows: Dict[str, Any] = {}
@@ -113,6 +116,11 @@ class SimulationCounters:
             payload["context_cache"] = {
                 kind: dict(sorted(counters.items()))
                 for kind, counters in sorted(self.context_cache.items())
+            }
+        if self.fleet:
+            payload["fleet"] = {
+                policy: {k: counters[k] for k in sorted(counters)}
+                for policy, counters in sorted(self.fleet.items())
             }
         return payload
 
@@ -203,6 +211,21 @@ def record_context_cache(kind: str, outcome: str) -> None:
     """
     bucket = _COUNTERS.context_cache.setdefault(kind, {})
     bucket[outcome] = bucket.get(outcome, 0) + 1
+
+
+def record_fleet(policy: str, counters: Mapping[str, float]) -> None:
+    """Account one fleet serving run under *policy*.
+
+    ``counters`` are the numeric pool/churn totals of
+    :func:`repro.kernel.fleet.simulate_fleet` (cold/warm starts,
+    evictions, keep-alive expiries, cold-resume storms, peaks); they
+    accumulate per policy so repeated runs in one process sum, matching
+    :func:`merge_simulations` across processes."""
+    bucket = _COUNTERS.fleet.setdefault(policy, {})
+    for key, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        bucket[key] = bucket.get(key, 0) + value
 
 
 def merge_simulations(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -421,6 +444,17 @@ class RunReport:
                 _merge_structures(merged.setdefault(regime, {}), per_structure)
         return {regime: merged[regime] for regime in sorted(merged)}
 
+    def fleet(self) -> Dict[str, Dict[str, float]]:
+        """Per-policy fleet serving counters aggregated across records."""
+        merged: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            for policy, counters in record.simulation.get("fleet", {}).items():
+                bucket = merged.setdefault(policy, {})
+                for key, value in counters.items():
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        bucket[key] = bucket.get(key, 0) + value
+        return {policy: merged[policy] for policy in sorted(merged)}
+
     def audit_flow_conservation(self) -> List[str]:
         """Cross-check every regime's aggregated flow ledger.
 
@@ -546,6 +580,18 @@ class RunReport:
             lines.append(
                 f"context cache: {hits} hit / {misses} miss / {stores} "
                 f"store ({detail}) — REPRO_CONTEXT_CACHE"
+            )
+        for policy, counters in self.fleet().items():
+            lines.append(
+                f"fleet[{policy}]: {counters.get('invocations', 0):.0f} "
+                f"invocations over {counters.get('tenants', 0):.0f} tenants — "
+                f"{counters.get('cold_starts', 0):.0f} cold / "
+                f"{counters.get('warm_starts', 0):.0f} warm starts, "
+                f"{counters.get('evictions', 0):.0f} evicted / "
+                f"{counters.get('keepalive_expiries', 0):.0f} expired, "
+                f"{counters.get('cold_resume_storms', 0):.0f} cold-resume "
+                f"storm(s), peak {counters.get('peak_containers', 0):.0f} "
+                f"containers"
             )
         derived = self.derived_traces()
         if derived:

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig15_security,
     fig16_old_kernel,
     fig17_old_kernel_sw,
+    fleet_serving,
     table1_flows,
     table2_config,
     table3_hwcost,
@@ -81,6 +82,9 @@ REGISTRY: Tuple[Experiment, ...] = (
                "benchmarks/test_flow_mix.py", stage_plan=flow_mix.STAGE_PLAN),
     Experiment("bitmap", "Draco vs 5.11 action-cache bitmap (extension)",
                bitmap_comparison.run, "benchmarks/test_bitmap_comparison.py"),
+    Experiment("fleet", "Fleet-scale FaaS serving (extension)",
+               fleet_serving.run, "benchmarks/bench_fleet.py",
+               stage_plan=fleet_serving.STAGE_PLAN),
 )
 
 

@@ -78,11 +78,22 @@ KIND_CALIBRATION = "calibration"
 KIND_EVAL = "eval"
 KIND_ANALYSIS = "analysis"
 KIND_EXPERIMENT = "experiment"  # monolithic fallback: the whole run()
+#: Fleet-serving stage kinds (see :class:`FleetPlan`): load and
+#: calibration are provenance manifests (their outputs are cheap, pure
+#: functions of the stage params that downstream stages recompute
+#: in-process), one ``fleet-eval`` per dispatch policy carries the full
+#: :meth:`~repro.kernel.fleet.FleetResult.to_json_dict` payload.
+KIND_FLEET_LOAD = "fleet-load"
+KIND_FLEET_CALIBRATION = "fleet-calibration"
+KIND_FLEET_EVAL = "fleet-eval"
 
 #: Kinds persisted in the ``stages/`` tier.  Terminal kinds
 #: (analysis / experiment) store their ExperimentResult in the
 #: ``results/`` tier under the flat per-experiment digest instead.
-_INTERMEDIATE_KINDS = frozenset({KIND_TRACE, KIND_CALIBRATION, KIND_EVAL})
+_INTERMEDIATE_KINDS = frozenset(
+    {KIND_TRACE, KIND_CALIBRATION, KIND_EVAL,
+     KIND_FLEET_LOAD, KIND_FLEET_CALIBRATION, KIND_FLEET_EVAL}
+)
 
 #: Runtime knobs folded into every stage digest.  These change what a
 #: stage payload *contains* (per-flow ledgers, structure counters) or
@@ -115,6 +126,24 @@ class EvalPlan:
 
     regimes: Tuple[str, ...]
     old_kernel: bool = False
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Declarative stage plan for the fleet-serving experiment.
+
+    Expands to load + calibration provenance stages shared by one
+    ``fleet-eval`` stage per dispatch policy, feeding the terminal
+    analysis.  Parameter resolution is delegated to
+    :func:`repro.experiments.fleet_serving.resolve_params` so staged
+    and flat runs derive identical :class:`~repro.kernel.fleet.FleetParams`.
+    """
+
+    policies: Tuple[str, ...]
+
+
+#: ``run()`` kwargs the fleet planner understands.
+_FLEET_PLANNABLE_KWARGS = frozenset({"events", "seed", "tenants", "invocations"})
 
 
 @dataclass(frozen=True)
@@ -156,7 +185,7 @@ def _stage_digest(kind: str, params: Mapping[str, Any], deps: Sequence[str]) -> 
 
 def build_plan(
     experiment_id: str,
-    plan: EvalPlan,
+    plan: "EvalPlan | FleetPlan",
     run_kwargs: Mapping[str, Any],
     flat_digest: str,
 ) -> Optional[ExperimentPlan]:
@@ -166,6 +195,8 @@ def build_plan(
     does not understand — the caller then falls back to a monolithic
     experiment stage, which executes the exact flat-engine semantics.
     """
+    if isinstance(plan, FleetPlan):
+        return _build_fleet_plan(experiment_id, plan, run_kwargs, flat_digest)
     if not _PLANNABLE_KWARGS.issuperset(run_kwargs):
         return None
     names = tuple(run_kwargs.get("workloads") or tuple(CATALOG))
@@ -232,6 +263,63 @@ def build_plan(
     )
 
 
+def _build_fleet_plan(
+    experiment_id: str,
+    plan: FleetPlan,
+    run_kwargs: Mapping[str, Any],
+    flat_digest: str,
+) -> Optional[ExperimentPlan]:
+    """Expand a :class:`FleetPlan` into load/calibration/eval stages."""
+    if not _FLEET_PLANNABLE_KWARGS.issuperset(run_kwargs):
+        return None
+    from repro.experiments import fleet_serving
+
+    params = fleet_serving.resolve_params(
+        run_kwargs.get("events"),
+        seed=int(run_kwargs.get("seed", DEFAULT_SEED)),
+        tenants=run_kwargs.get("tenants"),
+        invocations=run_kwargs.get("invocations"),
+    )
+    fleet = {
+        "tenants": params.tenants,
+        "invocations": params.invocations,
+        "seed": params.seed,
+    }
+    stages: Dict[str, Stage] = {}
+
+    def add(kind: str, label: str, params: Dict[str, Any], deps: Tuple[str, ...] = ()) -> str:
+        key = _stage_digest(kind, params, deps)
+        stages.setdefault(
+            key, Stage(key=key, kind=kind, label=label, params=params, deps=deps)
+        )
+        return key
+
+    load_key = add(KIND_FLEET_LOAD, "fleet-load", {"fleet": fleet})
+    calib_key = add(KIND_FLEET_CALIBRATION, "fleet-calibration", {"fleet": fleet})
+    eval_keys = tuple(
+        add(
+            KIND_FLEET_EVAL,
+            f"fleet-eval:{policy}",
+            {"fleet": fleet, "policy": policy},
+            (load_key, calib_key),
+        )
+        for policy in plan.policies
+    )
+    terminal = add(
+        KIND_ANALYSIS,
+        f"analysis:{experiment_id}",
+        {"experiment_id": experiment_id, "run_kwargs": dict(run_kwargs)},
+        eval_keys,
+    )
+    return ExperimentPlan(
+        experiment_id=experiment_id,
+        run_kwargs=dict(run_kwargs),
+        flat_digest=flat_digest,
+        stages=stages,
+        terminal=terminal,
+    )
+
+
 def monolithic_plan(
     experiment_id: str, run_kwargs: Mapping[str, Any], flat_digest: str
 ) -> ExperimentPlan:
@@ -281,12 +369,56 @@ def _run_eval_stage(params: Mapping[str, Any]) -> Dict[str, Any]:
     return ctx.evaluate(params["regime"]).to_json_dict()
 
 
+def _run_fleet_params(params: Mapping[str, Any]):
+    from repro.kernel.fleet import FleetParams
+
+    fleet = params["fleet"]
+    return FleetParams(
+        tenants=int(fleet["tenants"]),
+        invocations=int(fleet["invocations"]),
+        seed=int(fleet["seed"]),
+    )
+
+
+def _run_fleet_load_stage(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.kernel.fleet import generate_load
+
+    load = generate_load(_run_fleet_params(params))
+    # Provenance manifest only: the load is a pure function of the
+    # stage params, which the eval stages regenerate in-process.
+    return {
+        "invocations": len(load),
+        "last_arrival_ms": round(load[-1].arrival_ms, 3),
+    }
+
+
+def _run_fleet_calibration_stage(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.kernel.fleet import calibrate_classes
+
+    classes = calibrate_classes(_run_fleet_params(params))
+    return {
+        "classes": len(classes),
+        "footprint_bytes": [c.footprint_bytes for c in classes],
+    }
+
+
+def _run_fleet_eval_stage(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.experiments import fleet_serving
+
+    return fleet_serving.eval_payload(_run_fleet_params(params), params["policy"])
+
+
 def _run_analysis_stage(
     params: Mapping[str, Any], dep_info: Sequence[Tuple[str, Dict[str, Any], Any]]
 ) -> Dict[str, Any]:
     from repro.experiments.registry import by_id
 
     for kind, dep_params, payload in dep_info:
+        if kind == KIND_FLEET_EVAL:
+            from repro.experiments import fleet_serving
+
+            fleet_serving.seed_eval(dep_params, payload)
+            continue
         if kind != KIND_EVAL:
             continue
         ctx = get_context(
@@ -332,6 +464,12 @@ def _execute_stage(
             payload = _run_calibration_stage(params)
         elif kind == KIND_EVAL:
             payload = _run_eval_stage(params)
+        elif kind == KIND_FLEET_LOAD:
+            payload = _run_fleet_load_stage(params)
+        elif kind == KIND_FLEET_CALIBRATION:
+            payload = _run_fleet_calibration_stage(params)
+        elif kind == KIND_FLEET_EVAL:
+            payload = _run_fleet_eval_stage(params)
         elif kind == KIND_ANALYSIS:
             payload = _run_analysis_stage(params, dep_info)
         elif kind == KIND_EXPERIMENT:

@@ -97,10 +97,21 @@ class FaaSRunner:
         self.hw = hw
         self.costs = costs
         self.include_startup = include_startup
+        # Startup syscalls are charged once per worker lifetime (the
+        # first invocation a fresh process serves).  The recorded
+        # sequence ends with the exit_group strace captured when the
+        # traced process exited; a worker that lives on to serve more
+        # invocations never executes it, so it is dropped here.
+        self._startup: Tuple = (
+            tuple(startup_events()[:-1]) if include_startup else ()
+        )
+        # Compiled once; the BPF programs are immutable, so every cold
+        # start attaches the same objects to its fresh kernel module.
+        self._programs = tuple(compile_profile_chunked(self.profile))
 
     def _fresh_pipeline(self) -> HardwareDraco:
         module = SeccompKernelModule()
-        for program in compile_profile_chunked(self.profile):
+        for program in self._programs:
             module.attach(program)
         return HardwareDraco(
             build_process_tables(self.profile, table=self.profile.table),
@@ -111,12 +122,15 @@ class FaaSRunner:
         )
 
     def _run_invocation(
-        self, pipeline: HardwareDraco, trace: Sequence, index: int
+        self, pipeline: HardwareDraco, trace: Sequence, index: int, fresh: bool
     ) -> InvocationStats:
         os_before = pipeline.stats.os_invocations
         cycles = 0.0
         count = 0
-        events = list(startup_events())[:-1] if self.include_startup else []
+        # Process startup runs exactly once per worker process: a warm
+        # invocation enters an already-started worker, so replaying
+        # glibc/ld.so startup there would double-charge it.
+        events = list(self._startup) if fresh else []
         events.extend(trace)
         for event in events:
             result = pipeline.on_syscall(event)
@@ -140,9 +154,10 @@ class FaaSRunner:
         stats = []
         pipeline: Optional[HardwareDraco] = None
         for index in range(invocations):
-            if mode == "cold" or pipeline is None:
+            fresh = mode == "cold" or pipeline is None
+            if fresh:
                 pipeline = self._fresh_pipeline()
-            stats.append(self._run_invocation(pipeline, trace, index))
+            stats.append(self._run_invocation(pipeline, trace, index, fresh))
         return FaaSRunStats(mode=mode, invocations=tuple(stats))
 
 

@@ -9,6 +9,7 @@ different cores is modelled.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -72,19 +73,20 @@ class MultiCoreSystem:
             core.hierarchy = MemoryHierarchy(processor, shared_l3=self.shared_l3)
             self.cores.append(core)
         self._run_queues: List[List[ScheduledProcess]] = [[] for _ in range(num_cores)]
+        self._names: set = set()  # O(1) duplicate detection across queues
 
     # -- placement -------------------------------------------------------
 
     def assign(self, process: ScheduledProcess, core: Optional[int] = None) -> int:
         """Place a process on a core (least-loaded when unspecified)."""
-        for queue in self._run_queues:
-            if any(p.name == process.name for p in queue):
-                raise ConfigError(f"duplicate process name {process.name!r}")
+        if process.name in self._names:
+            raise ConfigError(f"duplicate process name {process.name!r}")
         if core is None:
             core = min(range(len(self.cores)), key=lambda i: len(self._run_queues[i]))
         if not 0 <= core < len(self.cores):
             raise ConfigError(f"no core {core}")
         self._run_queues[core].append(process)
+        self._names.add(process.name)
         return core
 
     @property
@@ -127,36 +129,43 @@ class MultiCoreSystem:
             raise ConfigError("no processes assigned")
         total = 0
         bulk = analytic_backend.resolve_backend(backend) != "event"
-        cursors = [0] * len(self.cores)  # per-core round-robin position
-        while any(not p.done for p in self.processes):
-            progressed = False
+        # Fleet-capable bookkeeping: each core rotates a deque holding
+        # only its unfinished processes (popleft, run one quantum,
+        # append while unfinished), and a running count of unfinished
+        # processes replaces the old ``while any(not p.done for p in
+        # self.processes)`` condition — which rebuilt the full process
+        # tuple and scanned it on every round, and then rescanned each
+        # queue from a cursor to skip finished entries.  A process
+        # becomes done only by running, so the rotation selects exactly
+        # the candidate the cursor scan did; a differential test gates
+        # MultiCoreResult byte-for-byte.
+        rotations: List[deque] = [
+            deque(p for p in queue if not p.done) for queue in self._run_queues
+        ]
+        remaining = sum(len(rotation) for rotation in rotations)
+        while remaining:
             for core_index, core in enumerate(self.cores):
-                queue = self._run_queues[core_index]
-                if not queue:
+                rotation = rotations[core_index]
+                if not rotation:
                     continue
-                # Pick this core's next runnable process, round-robin.
-                for offset in range(len(queue)):
-                    candidate = queue[(cursors[core_index] + offset) % len(queue)]
-                    if not candidate.done:
-                        cursors[core_index] = (
-                            cursors[core_index] + offset + 1
-                        ) % len(queue)
-                        total += self._run_quantum(core, candidate, strict, bulk)
-                        progressed = True
-                        break
-            if not progressed:  # pragma: no cover - loop guard
-                break
+                candidate = rotation.popleft()
+                total += self._run_quantum(core, candidate, strict, bulk)
+                if candidate.done:
+                    remaining -= 1
+                else:
+                    rotation.append(candidate)
+        processes = self.processes  # bind the tuple once for the result
         if ledger.audits_enabled():
-            for process in self.processes:
+            for process in processes:
                 audit_process_flows(process, scope=f"multicore/{process.name}")
         l3_total = self.shared_l3.hits + self.shared_l3.misses
         return MultiCoreResult(
-            per_process={p.name: p.mean_check_cycles for p in self.processes},
+            per_process={p.name: p.mean_check_cycles for p in processes},
             per_core_switches=tuple(core.context_switches for core in self.cores),
             total_syscalls=total,
             l3_hit_rate=self.shared_l3.hits / l3_total if l3_total else 0.0,
-            per_process_flows={p.name: dict(p.flow_counts) for p in self.processes},
+            per_process_flows={p.name: dict(p.flow_counts) for p in processes},
             per_process_flow_cycles={
-                p.name: dict(p.flow_cycles) for p in self.processes
+                p.name: dict(p.flow_cycles) for p in processes
             },
         )

@@ -286,10 +286,16 @@ class RoundRobinScheduler:
         total = 0
         timelines = ledger.enabled()
         bulk = analytic_backend.resolve_backend(backend) != "event"
-        while any(not p.done for p in self.processes):
-            for process in self.processes:
-                if process.done:
-                    continue
+        # Fleet-capable bookkeeping: keep only unfinished processes on
+        # the active list (order preserved) instead of rescanning the
+        # whole population each round — O(total quanta), not O(N²).
+        # The visit sequence is identical to the historical
+        # ``while any(not done): for p in processes`` loop, which a
+        # differential test gates byte-for-byte.
+        active = [p for p in self.processes if not p.done]
+        while active:
+            still_running = []
+            for process in active:
                 pipeline = self.core.schedule(process)
                 cold = self.core.last_schedule_cold
                 quantum_start = process.syscalls_run
@@ -306,6 +312,9 @@ class RoundRobinScheduler:
                             cold=cold,
                         )
                     )
+                if not process.done:
+                    still_running.append(process)
+            active = still_running
         if ledger.audits_enabled():
             for process in self.processes:
                 audit_process_flows(process, scope=f"scheduler/{process.name}")
