@@ -1,0 +1,286 @@
+"""Benchmark for the warm experiment service (``REPRO_WARM_POOL``).
+
+Measures the serving headline behind ``repro.experiments.service``:
+
+* ``process_floor`` — the cost of answering a warm ``--refresh``
+  request the pre-service way: a fresh process per run, full registry,
+  warm disk cache (the ~1.7 s floor in docs/PERFORMANCE.md);
+* ``served`` — the same request served by a warm in-process service:
+  first computed on the warm pool, then repeated — each repeat replays
+  the request memo.  Reports per-request p50/p95/p99 and asserts the
+  replayed markdown is byte-identical to a fresh ``--refresh``
+  recompute (the content-addressed request digest is what makes the
+  replay *refresh-equivalent*);
+* ``dispatch`` — the first parallel suite of a process, cold
+  (throwaway pool: workers fork, import and warm on the critical path)
+  vs warm (pool prestarted before timing).
+
+and writes ``BENCH_service.json``.  ``--check`` gates:
+
+1. served p50 must beat the process floor by ``--floor-speedup``
+   (default 10x, the ISSUE acceptance bar);
+2. the served replay must be byte-identical to the recompute;
+3. warm dispatch must beat cold dispatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py              # measure + write
+    PYTHONPATH=src python benchmarks/bench_service.py --check      # CI gate
+    PYTHONPATH=src python benchmarks/bench_service.py --update     # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: Required served-vs-process-floor speedup (the acceptance bar).
+DEFAULT_FLOOR_SPEEDUP = 10.0
+
+#: Memo replays measured for the latency percentiles.
+DEFAULT_REPEATS = 50
+
+_CHILD_SUITE = """
+import json, sys, time
+from repro.experiments import engine
+
+config = json.loads(sys.argv[1])
+started = time.perf_counter()
+run = engine.run_suite(
+    config.get("ids"),
+    events=config.get("events"),
+    jobs=config.get("jobs", 1),
+    cache_mode=config["cache_mode"],
+    run_overrides=config.get("run_overrides"),
+)
+wall = time.perf_counter() - started
+print(json.dumps({
+    "wall_s": round(wall, 3),
+    "failures": [o.experiment_id for o in run.failures],
+}))
+"""
+
+_CHILD_SERVICE = """
+import json, sys
+from repro.common import stats
+from repro.experiments.service import ExperimentService
+from repro.experiments import pool as warm_pool
+
+config = json.loads(sys.argv[1])
+svc = ExperimentService(jobs=config["jobs"], cache_dir=config["cache_dir"])
+warm_pool.get_pool(svc.jobs).prestart()
+
+request = {"op": "run", "cache_mode": "refresh", "events": config.get("events")}
+first = svc.handle(dict(request))
+assert first["ok"], first.get("error")
+assert first["served"] == "computed", first["served"]
+
+latencies = []
+for _ in range(config["repeats"]):
+    reply = svc.handle(dict(request))
+    assert reply["ok"] and reply["served"] == "memo", reply.get("served")
+    latencies.append(reply["wall_ms"])
+
+# Refresh-equivalence: the memo replay must be byte-identical to a
+# fresh recompute of the same request on the warm pool.
+fresh = svc.handle(dict(request, no_memo=True))
+assert fresh["ok"] and fresh["served"] == "computed", fresh.get("served")
+
+print(json.dumps({
+    "computed_wall_ms": first["wall_ms"],
+    "latencies_ms": latencies,
+    "p50_ms": round(stats.percentile(latencies, 50), 3),
+    "p95_ms": round(stats.percentile(latencies, 95), 3),
+    "p99_ms": round(stats.percentile(latencies, 99), 3),
+    "identical": fresh["markdown"] == first["markdown"],
+}))
+"""
+
+_CHILD_DISPATCH = """
+import json, sys, time
+from repro.experiments import engine
+from repro.experiments import pool as warm_pool
+
+config = json.loads(sys.argv[1])
+if config["mode"] == "warm":
+    warm_pool.get_pool(config["jobs"]).prestart()
+started = time.perf_counter()
+run = engine.run_suite(
+    config["ids"],
+    jobs=config["jobs"],
+    cache_mode="off",
+    run_overrides=config.get("run_overrides"),
+)
+wall = time.perf_counter() - started
+assert not run.failures, [o.experiment_id for o in run.failures]
+print(json.dumps({"wall_s": round(wall, 3)}))
+"""
+
+
+def _run_child(script: str, cache_dir: str, config: dict, env_extra: dict = None) -> dict:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.setdefault("PYTHONPATH", str(Path(__file__).resolve().parents[1] / "src"))
+    env.update(env_extra or {})
+    out = subprocess.run(
+        [sys.executable, "-c", script, json.dumps(config)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    payload = json.loads(out.stdout.strip().splitlines()[-1])
+    if payload.get("failures"):
+        raise RuntimeError(f"suite failures: {payload['failures']}")
+    return payload
+
+
+#: Small suite for the dispatch comparison.  fig2 is the Seccomp
+#: experiment: its evaluations consume exactly what the pool
+#: initializer preloads (profiles, assembled programs, compiled
+#: filters), so the cold pool pays that warmup inside the first tasks
+#: while the warm pool paid it off the critical path at prestart.
+_DISPATCH_IDS = ["fig2"]
+_DISPATCH_OVERRIDES = {"fig2": {"workloads": ["nginx", "pipe-ipc"], "events": 1200}}
+
+#: Dispatch runs per mode; the minimum is compared (each run is a
+#: fresh process, so the min isolates dispatch cost from scheduler
+#: noise).
+_DISPATCH_RUNS = 3
+
+
+def measure(args) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as cache_dir:
+        base = {"events": args.events, "jobs": args.jobs}
+        # Populate the disk cache; the floor and the service both start warm.
+        cold = _run_child(_CHILD_SUITE, cache_dir, dict(base, cache_mode="on"))
+        floor = _run_child(_CHILD_SUITE, cache_dir, dict(base, cache_mode="refresh"))
+        service = _run_child(
+            _CHILD_SERVICE,
+            cache_dir,
+            dict(base, cache_dir=cache_dir, repeats=args.repeats),
+        )
+        dispatch_cold = [
+            _run_child(
+                _CHILD_DISPATCH,
+                cache_dir,
+                {"mode": "cold", "jobs": args.jobs, "ids": _DISPATCH_IDS,
+                 "run_overrides": _DISPATCH_OVERRIDES},
+                env_extra={"REPRO_WARM_POOL": "0"},
+            )["wall_s"]
+            for _ in range(_DISPATCH_RUNS)
+        ]
+        dispatch_warm = [
+            _run_child(
+                _CHILD_DISPATCH,
+                cache_dir,
+                {"mode": "warm", "jobs": args.jobs, "ids": _DISPATCH_IDS,
+                 "run_overrides": _DISPATCH_OVERRIDES},
+                env_extra={"REPRO_WARM_POOL": "1"},
+            )["wall_s"]
+            for _ in range(_DISPATCH_RUNS)
+        ]
+    floor_ms = floor["wall_s"] * 1000.0
+    return {
+        "events": args.events,
+        "jobs": args.jobs,
+        "repeats": args.repeats,
+        "cold_suite": {"wall_s": cold["wall_s"]},
+        "process_floor": {"wall_s": floor["wall_s"]},
+        "served": {
+            "computed_wall_ms": service["computed_wall_ms"],
+            "p50_ms": service["p50_ms"],
+            "p95_ms": service["p95_ms"],
+            "p99_ms": service["p99_ms"],
+            "identical_to_recompute": service["identical"],
+        },
+        "dispatch": {
+            "cold_wall_s": min(dispatch_cold),
+            "warm_wall_s": min(dispatch_warm),
+            "cold_runs_s": dispatch_cold,
+            "warm_runs_s": dispatch_warm,
+        },
+        "speedup": {
+            "served_vs_process_floor": round(floor_ms / service["p50_ms"], 2),
+            "warm_vs_cold_dispatch": round(
+                min(dispatch_cold) / min(dispatch_warm), 2
+            ),
+        },
+    }
+
+
+def check_gates(measured: dict, floor_speedup: float) -> int:
+    failures = []
+    served = measured["speedup"]["served_vs_process_floor"]
+    status = "ok" if served >= floor_speedup else "REGRESSION"
+    print(
+        f"served p50 {measured['served']['p50_ms']:.1f} ms vs process floor "
+        f"{measured['process_floor']['wall_s'] * 1000:.0f} ms: {served:.0f}x "
+        f"(required {floor_speedup:.0f}x)  {status}"
+    )
+    if served < floor_speedup:
+        failures.append(
+            f"served_vs_process_floor: {served:.1f}x < {floor_speedup:.0f}x"
+        )
+    if not measured["served"]["identical_to_recompute"]:
+        failures.append("served replay differs from a fresh --refresh recompute")
+    dispatch = measured["speedup"]["warm_vs_cold_dispatch"]
+    status = "ok" if dispatch > 1.0 else "REGRESSION"
+    print(
+        f"first-suite dispatch: cold {measured['dispatch']['cold_wall_s']:.2f}s "
+        f"vs warm {measured['dispatch']['warm_wall_s']:.2f}s: {dispatch:.2f}x  "
+        f"{status}"
+    )
+    if dispatch <= 1.0:
+        failures.append(f"warm_vs_cold_dispatch: {dispatch:.2f}x <= 1x")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("service gates passed: served replay fast, identical, warm-start wins")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=None,
+        help="trace length per workload (default: the registry default)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--floor-speedup", type=float, default=DEFAULT_FLOOR_SPEEDUP,
+        help="required served-vs-process-floor speedup (default: 10x)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="enforce the serving gates; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measurement to the baseline file",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    measured = measure(args)
+    print(json.dumps(measured, indent=2))
+
+    target = args.output or (args.baseline if args.update else None)
+    if target is not None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"wrote {target}")
+
+    if args.check:
+        return check_gates(measured, args.floor_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

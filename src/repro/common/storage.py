@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Iterator, Optional, Tuple
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -42,8 +44,59 @@ def _truthy(name: str) -> bool:
     return os.environ.get(name, "1").lower() not in ("0", "off", "false", "no")
 
 
+#: Context-local overrides for the cache directory and disable flag.
+#: The environment variables stay the *outer defaults*; the engine and
+#: the long-running experiment service apply per-run settings through
+#: :func:`cache_overrides` instead of mutating ``os.environ``, which is
+#: process-global and therefore unsafe once concurrent requests share a
+#: process.  ContextVars are per-thread (and per-task), so two service
+#: threads can run with different cache modes without racing.  Worker
+#: processes do NOT inherit these reliably across ``fork`` — engine
+#: worker entry points receive the settings as explicit task arguments
+#: and re-apply them.
+_CACHE_DIR_OVERRIDE: ContextVar[Optional[str]] = ContextVar(
+    "repro_cache_dir_override", default=None
+)
+_CACHE_DISABLE_OVERRIDE: ContextVar[Optional[bool]] = ContextVar(
+    "repro_cache_disable_override", default=None
+)
+
+
+@contextmanager
+def cache_overrides(
+    cache_dir: Optional[str] = None, disable: Optional[bool] = None
+) -> Iterator[None]:
+    """Apply context-local cache settings for the duration of a block.
+
+    ``cache_dir=None`` / ``disable=None`` leave the corresponding
+    setting untouched (falling through to the environment); any other
+    value overrides the environment until the block exits.  Nested
+    blocks restore the previous override on exit.
+    """
+    tokens = []
+    if cache_dir is not None:
+        tokens.append((_CACHE_DIR_OVERRIDE, _CACHE_DIR_OVERRIDE.set(str(cache_dir))))
+    if disable is not None:
+        tokens.append((_CACHE_DISABLE_OVERRIDE, _CACHE_DISABLE_OVERRIDE.set(bool(disable))))
+    try:
+        yield
+    finally:
+        for var, token in reversed(tokens):
+            var.reset(token)
+
+
+def cache_override_key() -> Tuple[Optional[str], Optional[bool]]:
+    """The active overrides, for memo keys that must distinguish runs
+    executed under different context-local cache settings."""
+    return (_CACHE_DIR_OVERRIDE.get(), _CACHE_DISABLE_OVERRIDE.get())
+
+
 def cache_enabled() -> bool:
-    """True unless ``REPRO_CACHE_DISABLE`` is set to a non-empty value."""
+    """True unless disabled by an active override or, absent one,
+    ``REPRO_CACHE_DISABLE`` set to a non-empty value."""
+    override = _CACHE_DISABLE_OVERRIDE.get()
+    if override is not None:
+        return not override
     return not os.environ.get(CACHE_DISABLE_ENV)
 
 
@@ -71,7 +124,14 @@ def stage_graph_enabled() -> bool:
 
 
 def cache_root() -> Path:
-    """The cache directory (not created until first write)."""
+    """The cache directory (not created until first write).
+
+    Resolution order: active :func:`cache_overrides` block, then
+    ``REPRO_CACHE_DIR``, then the ``~/.cache/repro-draco`` default.
+    """
+    local = _CACHE_DIR_OVERRIDE.get()
+    if local:
+        return Path(local)
     override = os.environ.get(CACHE_DIR_ENV)
     if override:
         return Path(override)

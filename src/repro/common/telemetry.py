@@ -333,6 +333,12 @@ class RunReport:
     cache_dir: str = ""
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Experiment-service block (empty for plain CLI runs): request
+    #: totals, per-request latency percentiles, warm-pool and in-memory
+    #: stage-tier counters.  Written by
+    #: :mod:`repro.experiments.service`, rendered by
+    #: ``summary --service``.
+    service: Dict[str, Any] = field(default_factory=dict)
 
     # -- aggregates ----------------------------------------------------
 
@@ -489,7 +495,7 @@ class RunReport:
     # -- serialisation -------------------------------------------------
 
     def to_json_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema": "repro.run-report/1",
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -508,6 +514,9 @@ class RunReport:
             },
             "records": [r.to_json_dict() for r in self.records],
         }
+        if self.service:
+            payload["service"] = self.service
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
@@ -520,6 +529,7 @@ class RunReport:
             cache_dir=payload.get("cache_dir", ""),
             started_at=float(payload.get("started_at", 0.0)),
             finished_at=float(payload.get("finished_at", 0.0)),
+            service=dict(payload.get("service", {})),
         )
 
     def write(self, path: Path) -> None:
@@ -716,4 +726,65 @@ class RunReport:
             lines.extend(f"  {p}" for p in problems)
         else:
             lines.append("conservation: ok (counts == events; cycles sum to totals)")
+        return "\n".join(lines)
+
+    def format_service(self) -> str:
+        """Experiment-service telemetry (the ``summary --service`` rendering).
+
+        Request totals, how each request was served (computed on the
+        warm pool, replayed from the request memo, or coalesced onto an
+        identical in-flight request), per-request latency percentiles,
+        and the warm-pool / in-memory stage-tier counters behind them.
+        """
+        block = self.service
+        if not block:
+            return (
+                "== service\n(no service telemetry recorded — reports "
+                "written by python -m repro.experiments.service carry it)"
+            )
+        lines = ["== service (warm pool + request memo)"]
+        served = block.get("served", {})
+        lines.append(
+            f"requests: {block.get('requests', 0)} "
+            f"({served.get('computed', 0)} computed / "
+            f"{served.get('memo', 0)} memo / "
+            f"{served.get('coalesced', 0)} coalesced, "
+            f"{block.get('errors', 0)} errors)"
+        )
+        latency = block.get("latency_ms", {})
+        if latency:
+            lines.append(
+                "latency: "
+                f"p50 {latency.get('p50', 0.0):.1f} ms / "
+                f"p95 {latency.get('p95', 0.0):.1f} ms / "
+                f"p99 {latency.get('p99', 0.0):.1f} ms "
+                f"(mean {latency.get('mean', 0.0):.1f}, "
+                f"max {latency.get('max', 0.0):.1f}, "
+                f"n={latency.get('count', 0)})"
+            )
+        pool = block.get("pool", {})
+        if pool:
+            lines.append(
+                f"warm pool: {pool.get('created', 0)} created / "
+                f"{pool.get('recycled', 0)} recycled / "
+                f"{pool.get('broken', 0)} broken, "
+                f"{pool.get('suites_served', 0)} suites on current pool "
+                f"(workers={pool.get('max_workers', '?')})"
+            )
+        memory = block.get("stage_memory", {})
+        if memory:
+            lines.append(
+                f"stage memory: {memory.get('hits', 0)} hit / "
+                f"{memory.get('misses', 0)} miss / "
+                f"{memory.get('stored', 0)} stored / "
+                f"{memory.get('evicted', 0)} evicted "
+                f"({memory.get('entries', 0)}/{memory.get('limit', 0)} entries)"
+            )
+        watch = block.get("watch", {})
+        if watch:
+            lines.append(
+                f"watch: {watch.get('checks', 0)} checks / "
+                f"{watch.get('runs', 0)} recomputes / "
+                f"{watch.get('code_drift', 0)} code-drift invalidations"
+            )
         return "\n".join(lines)

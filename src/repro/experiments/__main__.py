@@ -113,12 +113,24 @@ def _summary_main(argv) -> int:
         help="also render per-stage hit/exec/dedup counters and the "
         "slowest executed stages of the stage-graph orchestrator",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also render the experiment-service block (request totals, "
+        "latency percentiles, warm-pool and stage-memory counters); "
+        "defaults to <cache>/runs/service-latest.json when no --report "
+        "is given",
+    )
     args = parser.parse_args(argv)
     if args.cache_dir:
         import os
 
         os.environ[result_cache.CACHE_DIR_ENV] = args.cache_dir
-    path = Path(args.report) if args.report else result_cache.cache_root() / "runs" / "latest.json"
+    if args.report:
+        path = Path(args.report)
+    elif args.service:
+        path = result_cache.cache_root() / "runs" / "service-latest.json"
+    else:
+        path = result_cache.cache_root() / "runs" / "latest.json"
     if not path.exists():
         print(f"no run report at {path} — run some experiments first", file=sys.stderr)
         return 1
@@ -127,6 +139,9 @@ def _summary_main(argv) -> int:
     if args.stages:
         print()
         print(report.format_stages())
+    if args.service:
+        print()
+        print(report.format_service())
     if args.flows:
         print()
         print(report.format_flows())

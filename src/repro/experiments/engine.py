@@ -18,9 +18,19 @@ Runs registry entries across a :class:`~concurrent.futures.ProcessPoolExecutor`
   :class:`repro.experiments.cache.ResultCache` when the experiment's
   code fingerprint and parameters match a previous run.
 
-Cache coordination across worker processes happens through the
-``REPRO_CACHE_DIR`` / ``REPRO_CACHE_DISABLE`` environment variables,
-set (and restored) around the suite so forked workers inherit them.
+Cache coordination is explicit: ``run_suite`` resolves the cache
+directory and mode once, applies them context-locally through
+:func:`repro.common.storage.cache_overrides` (never by mutating
+``os.environ``, which would race under the concurrent service), and
+threads them to every worker as task arguments — the worker entry
+points re-apply them, since context variables do not survive ``fork``
+into pool workers.  The environment variables remain the outer
+defaults for callers that set nothing.
+
+Parallel suites run on the persistent warm pool
+(:mod:`repro.experiments.pool`): workers are forked once per process
+lifetime with preloaded memos and reused across calls.
+``REPRO_WARM_POOL=0`` restores a throwaway pool per suite.
 
 By default (``REPRO_STAGE_GRAPH=1``) the suite is executed by the
 stage-graph orchestrator (:mod:`repro.experiments.stages`): each
@@ -34,17 +44,17 @@ with byte-identical markdown output.
 
 from __future__ import annotations
 
-import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.common import telemetry
+from repro.common import storage, telemetry
 from repro.common.rng import derive_seed
 from repro.experiments import cache as result_cache
 from repro.experiments import fig11_draco_sw, fig12_draco_hw, fig13_hit_rates
+from repro.experiments import pool as warm_pool
 from repro.experiments import stages as stage_graph
 from repro.experiments.registry import REGISTRY, by_id
 from repro.experiments.results import ExperimentResult
@@ -100,14 +110,32 @@ class SuiteRun:
 
 
 def _execute_one(
-    experiment_id: str, run_kwargs: Dict[str, Any], cache_mode: str
+    experiment_id: str,
+    run_kwargs: Dict[str, Any],
+    cache_mode: str,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Worker entry point: run (or cache-serve) one experiment.
+
+    ``cache_dir`` is the suite's resolved cache root, passed explicitly
+    because the warm pool's workers outlive any single suite: they must
+    not rely on environment inherited at fork time, and context-local
+    overrides do not cross the ``fork`` boundary.  Re-applying them
+    here makes the worker's cache view match the submitting suite's.
 
     Returns a plain JSON-ready payload so results cross the process
     boundary without pickling experiment internals.  Never raises:
     failures are captured into the record.
     """
+    with storage.cache_overrides(
+        cache_dir=cache_dir, disable=(cache_mode == CACHE_OFF)
+    ):
+        return _execute_one_inner(experiment_id, run_kwargs, cache_mode)
+
+
+def _execute_one_inner(
+    experiment_id: str, run_kwargs: Dict[str, Any], cache_mode: str
+) -> Dict[str, Any]:
     experiment = by_id(experiment_id)
     telemetry.reset_counters()
     store = result_cache.ResultCache()
@@ -240,26 +268,22 @@ def run_suite(
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
 
-    saved_env = {
-        key: os.environ.get(key)
-        for key in (result_cache.CACHE_DIR_ENV, result_cache.CACHE_DISABLE_ENV)
-    }
-    if cache_dir is not None:
-        os.environ[result_cache.CACHE_DIR_ENV] = str(cache_dir)
-    if cache_mode == CACHE_OFF:
-        os.environ[result_cache.CACHE_DISABLE_ENV] = "1"
-    else:
-        os.environ.pop(result_cache.CACHE_DISABLE_ENV, None)
-
-    report = telemetry.RunReport(
-        jobs=jobs,
-        events=events,
-        seed=seed,
-        code_fingerprint=result_cache.code_fingerprint(),
-        cache_dir=str(result_cache.cache_root()),
-        started_at=time.time(),
-    )
-    try:
+    # Cache settings are context-local, never process-global: the
+    # service runs concurrent suites with different modes in one
+    # process, so mutating os.environ here would race.  Workers get
+    # the resolved root as an explicit task argument instead.
+    with storage.cache_overrides(
+        cache_dir=cache_dir, disable=(cache_mode == CACHE_OFF)
+    ):
+        resolved_root = str(result_cache.cache_root())
+        report = telemetry.RunReport(
+            jobs=jobs,
+            events=events,
+            seed=seed,
+            code_fingerprint=result_cache.code_fingerprint(),
+            cache_dir=resolved_root,
+            started_at=time.time(),
+        )
         if result_cache.stage_graph_enabled():
             # Stage-graph path (the default): decompose experiments
             # into content-addressed stages, dedup shared ones across
@@ -273,11 +297,12 @@ def run_suite(
                 ],
                 jobs=jobs,
                 cache_mode=cache_mode,
+                cache_dir=resolved_root,
             )
             return _assemble_run(report, payloads)
 
-        # The plan is built after the cache env is applied so the
-        # pre-shard cache probe below sees the right cache root.
+        # The plan is built under the cache overrides so the pre-shard
+        # cache probe below sees the right cache root.
         # plan: (experiment_id, kwargs, shard_count); shard_count == 0
         # means the experiment runs whole as one task.
         store = result_cache.ResultCache()
@@ -307,15 +332,31 @@ def run_suite(
                 plan.append((experiment_id, kwargs, 0))
                 tasks.append((experiment_id, kwargs))
 
-        if jobs == 1 or len(tasks) <= 1:
+        parallel = jobs > 1 and len(tasks) > 1
+        if parallel and cache_mode == CACHE_ON:
+            # Probe *every* task (not just shardable ones, which the
+            # loop above already handled): when the whole suite is a
+            # warm cache hit there is nothing to fan out, and serving
+            # stat-warm JSON serially beats paying pool dispatch.  Same
+            # stat-only caveat as above — a wrong "present" answer only
+            # costs the serial path a recompute.
+            if all(
+                store.has_result(experiment_id, store.result_key(experiment_id, kwargs))
+                for experiment_id, kwargs in tasks
+            ):
+                parallel = False
+
+        if not parallel:
             payloads = [
-                _execute_one(experiment_id, kwargs, cache_mode)
+                _execute_one(experiment_id, kwargs, cache_mode, resolved_root)
                 for experiment_id, kwargs in tasks
             ]
         else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            with warm_pool.suite_executor(jobs, len(tasks)) as executor:
                 futures = [
-                    pool.submit(_execute_one, experiment_id, kwargs, cache_mode)
+                    executor.submit(
+                        _execute_one, experiment_id, kwargs, cache_mode, resolved_root
+                    )
                     for experiment_id, kwargs in tasks
                 ]
                 payloads = [future.result() for future in futures]
@@ -333,14 +374,8 @@ def run_suite(
                     _merge_shard_payloads(experiment_id, kwargs, group, cache_mode)
                 )
         payloads = merged
-    finally:
-        for key, value in saved_env.items():
-            if value is None:
-                os.environ.pop(key, None)
-            else:
-                os.environ[key] = value
 
-    return _assemble_run(report, payloads)
+        return _assemble_run(report, payloads)
 
 
 def _assemble_run(
@@ -370,8 +405,11 @@ def write_report(run: SuiteRun, path: Optional[str] = None) -> str:
 
     The report is written both to the requested path and to
     ``runs/latest.json`` so ``summary`` has a stable default to read.
+    The runs dir lives under the cache root the *suite* resolved (the
+    report's ``cache_dir``), not whatever the environment says now.
     """
-    runs_dir = result_cache.cache_root() / "runs"
+    cache_base = run.report.cache_dir or str(result_cache.cache_root())
+    runs_dir = Path(cache_base) / "runs"
     if path is None:
         stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(run.report.started_at))
         path = str(runs_dir / f"run-{stamp}.json")

@@ -1,0 +1,243 @@
+"""Warm process pool: persistent, preloaded workers for the engine.
+
+Draco's discipline — validate once, serve repeats from a cache next to
+the hot path — applied to the experiment engine's own processes.  The
+flat engine and the stage scheduler used to spawn a throwaway
+:class:`~concurrent.futures.ProcessPoolExecutor` per suite, so every
+run paid process startup and every worker rebuilt its in-process memos
+(compiled filters, syscall tables, interned traces, contexts) from
+scratch.  This module keeps **one** pool alive across
+``run_suite``/``execute_suite`` calls:
+
+* workers run :func:`warm_worker` at startup, which imports the full
+  experiment registry and preloads the workload catalog, its syscall
+  tables, the docker-default profiles, and the assembled + compiled
+  filter programs — so the first task a worker receives starts from
+  the same warm state a long-lived process would have;
+* the pool is keyed on ``(max_workers, code fingerprint, behavioural
+  env knobs)``: flipping any ``REPRO_*`` knob that changes what a
+  worker computes — or editing the source — retires the old pool and
+  forks a fresh one, so a stale worker can never serve results under
+  settings it was not started with.  Cache *location* and *mode* are
+  deliberately **not** in the key: the engine threads them through
+  every task explicitly (:func:`repro.common.storage.cache_overrides`),
+  so one pool serves requests against different cache directories.
+
+Kill switch: ``REPRO_WARM_POOL=0`` restores the historical throwaway
+pool per call.  Results are byte-identical either way — the pool only
+changes *where* tasks run, never what they compute — and a differential
+test asserts it over the full registry markdown.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+#: Kill switch: ``0``/``off``/``false``/``no`` disables the persistent
+#: warm pool and every parallel suite gets a throwaway executor again.
+WARM_POOL_ENV = "REPRO_WARM_POOL"
+
+#: Environment knobs folded into the pool identity.  A forked worker
+#: snapshots ``os.environ`` at pool creation; these switches change
+#: what a worker *computes* (kernel tier, fast path, ledger, context
+#: replay, persistence), so a pool started under one setting must never
+#: serve tasks issued under another.  ``REPRO_CACHE_DIR`` and
+#: ``REPRO_CACHE_DISABLE`` are included for the same reason: tasks
+#: carry explicit overrides, but code outside a task (worker
+#: initializers, third-party callers) falls back to the inherited
+#: environment, which must therefore match the parent's.
+POOL_ENV_KNOBS: Tuple[str, ...] = (
+    "REPRO_BULK",
+    "REPRO_FASTPATH",
+    "REPRO_LEDGER",
+    "REPRO_LEDGER_AUDIT",
+    "REPRO_ANALYTIC",
+    "REPRO_CONTEXT_CACHE",
+    "REPRO_CACHE_DISABLE",
+    "REPRO_CACHE_DIR",
+)
+
+
+def warm_pool_enabled() -> bool:
+    """True unless ``REPRO_WARM_POOL`` is ``0``/``off``/``false``/``no``."""
+    return os.environ.get(WARM_POOL_ENV, "1").lower() not in ("0", "off", "false", "no")
+
+
+def warm_worker() -> None:
+    """Worker initializer: preload what every experiment task touches.
+
+    Runs once per worker process, before its first task.  Everything
+    here is a pure function of the source tree (no run parameters), so
+    warming it cannot bias any result — it only moves work off the
+    first task's critical path:
+
+    * importing :mod:`repro.experiments.registry` pulls in every
+      experiment module, the kernel regimes, and the BPF toolchain;
+    * touching each catalog spec materialises its syscall table;
+    * building the docker-default profile per table and assembling +
+      compiling its filter programs fills the profile, program, and
+      compiled-filter code-object memos the Seccomp regimes share.
+    """
+    import repro.experiments.registry  # noqa: F401  (imports the world)
+    from repro.experiments.runner import _docker_profile_for
+    from repro.kernel.regimes import _programs_for
+    from repro.bpf.compile import compile_program, fastpath_enabled
+    from repro.workloads.catalog import CATALOG
+
+    for spec in CATALOG.values():
+        profile = _docker_profile_for(spec.table)
+        for program in _programs_for(profile, "binary_tree"):
+            if fastpath_enabled():
+                compile_program(program)
+
+
+def _barrier_task(index: int, delay_s: float) -> int:
+    """Prestart probe: occupy one worker long enough that the executor
+    must spawn (and therefore warm) all of them."""
+    time.sleep(delay_s)
+    return index
+
+
+@dataclass
+class WarmPool:
+    """One persistent executor plus the identity it was started under."""
+
+    key: tuple
+    max_workers: int
+    executor: ProcessPoolExecutor
+    created_at: float
+    suites_served: int = 0
+    _warmed: bool = field(default=False, repr=False)
+
+    def prestart(self, delay_s: float = 0.05) -> float:
+        """Force every worker to spawn and finish :func:`warm_worker` now.
+
+        Submitting ``max_workers`` concurrent sleepers makes the lazy
+        executor fork its full complement; returns the wall time spent
+        waiting, 0.0 when the pool was already warm.
+        """
+        if self._warmed:
+            return 0.0
+        started = time.perf_counter()
+        futures = [
+            self.executor.submit(_barrier_task, index, delay_s)
+            for index in range(self.max_workers)
+        ]
+        for future in futures:
+            future.result()
+        self._warmed = True
+        return time.perf_counter() - started
+
+
+_LOCK = threading.Lock()
+_CURRENT: Optional[WarmPool] = None
+
+#: Lifetime counters, surfaced by the service's ``stats`` op.
+_STATS = {"created": 0, "recycled": 0, "broken": 0}
+
+
+def pool_key(max_workers: int) -> tuple:
+    from repro.experiments import cache as result_cache
+
+    return (
+        int(max_workers),
+        result_cache.code_fingerprint(),
+        tuple(os.environ.get(name) for name in POOL_ENV_KNOBS),
+    )
+
+
+def get_pool(max_workers: int) -> WarmPool:
+    """The current warm pool, recycling it if its identity drifted.
+
+    Thread-safe; the caller must not shut the returned executor down
+    (use :func:`shutdown` or let the interpreter reap it at exit).
+    """
+    global _CURRENT
+    key = pool_key(max_workers)
+    with _LOCK:
+        if _CURRENT is not None and _CURRENT.key == key:
+            return _CURRENT
+        if _CURRENT is not None:
+            _CURRENT.executor.shutdown(wait=False, cancel_futures=True)
+            _STATS["recycled"] += 1
+        executor = ProcessPoolExecutor(
+            max_workers=max(1, int(max_workers)), initializer=warm_worker
+        )
+        _CURRENT = WarmPool(
+            key=key,
+            max_workers=max(1, int(max_workers)),
+            executor=executor,
+            created_at=time.time(),
+        )
+        _STATS["created"] += 1
+        return _CURRENT
+
+
+def discard(executor: Optional[ProcessPoolExecutor] = None) -> None:
+    """Retire the current pool (e.g. after a BrokenProcessPool).
+
+    With ``executor`` given, only discards if the current pool owns that
+    executor — a later pool created by another thread is left alone.
+    """
+    global _CURRENT
+    with _LOCK:
+        if _CURRENT is None:
+            return
+        if executor is not None and _CURRENT.executor is not executor:
+            return
+        _CURRENT.executor.shutdown(wait=False, cancel_futures=True)
+        _CURRENT = None
+        _STATS["broken"] += 1
+
+
+def shutdown(wait: bool = True) -> None:
+    """Tear the warm pool down (tests, service shutdown)."""
+    global _CURRENT
+    with _LOCK:
+        if _CURRENT is not None:
+            _CURRENT.executor.shutdown(wait=wait, cancel_futures=True)
+            _CURRENT = None
+
+
+def stats() -> dict:
+    """Lifetime pool counters plus the current pool's vitals."""
+    with _LOCK:
+        snapshot = dict(_STATS)
+        snapshot["active"] = _CURRENT is not None
+        if _CURRENT is not None:
+            snapshot["max_workers"] = _CURRENT.max_workers
+            snapshot["suites_served"] = _CURRENT.suites_served
+            snapshot["age_s"] = round(time.time() - _CURRENT.created_at, 3)
+    return snapshot
+
+
+@contextmanager
+def suite_executor(jobs: int, task_count: int) -> Iterator[ProcessPoolExecutor]:
+    """An executor for one suite: the persistent warm pool when enabled,
+    a throwaway ``ProcessPoolExecutor`` (shut down on exit) otherwise.
+
+    On :class:`BrokenProcessPool` the warm pool is discarded before the
+    error propagates, so the next suite forks a fresh one instead of
+    failing forever on dead workers.
+    """
+    if warm_pool_enabled():
+        pool = get_pool(jobs)
+        pool.suites_served += 1
+        try:
+            yield pool.executor
+        except BrokenProcessPool:
+            discard(pool.executor)
+            raise
+    else:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, max(task_count, 1)))
+        try:
+            yield executor
+        finally:
+            executor.shutdown()

@@ -20,7 +20,7 @@ from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
-from repro.common import telemetry
+from repro.common import storage, telemetry
 from repro.common.analytic import analytic_enabled
 from repro.common.errors import ConfigError
 from repro.common.memo import memo_insert
@@ -134,9 +134,14 @@ _RUNTIME_ENV_KNOBS = (
 )
 
 
-def _runtime_env_key() -> Tuple[Optional[str], ...]:
+def _runtime_env_key() -> Tuple[object, ...]:
     environ = os.environ
-    return tuple(environ.get(name) for name in _RUNTIME_ENV_KNOBS)
+    env = tuple(environ.get(name) for name in _RUNTIME_ENV_KNOBS)
+    # Context-local cache overrides (the engine/service replacement for
+    # mutating REPRO_CACHE_DIR / REPRO_CACHE_DISABLE in os.environ)
+    # change what evaluate() may serve from persistent storage exactly
+    # like their environment counterparts, so they key the memo too.
+    return env + storage.cache_override_key()
 
 
 #: Seccomp regimes that can be served by replaying a shared filter

@@ -49,17 +49,20 @@ the flat engine.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.common import telemetry
+from repro.common import storage, telemetry
 from repro.common.analytic import ANALYTIC_VERSION, analytic_enabled
 from repro.common.rng import DEFAULT_SEED
 from repro.cpu.params import DEFAULT_SW_COSTS
 from repro.experiments import cache as result_cache
+from repro.experiments import pool as warm_pool
 from repro.experiments import runner
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import DEFAULT_EVENTS, get_context
@@ -338,6 +341,74 @@ def monolithic_plan(
     )
 
 
+# -- in-memory stage tier ----------------------------------------------
+#
+# A small LRU of hot stage payloads sitting *above* the ``stages/``
+# disk tier: a repeat hit is served without a stat, file read, or JSON
+# parse.  Safe because stage digests are fully content-addressed (code
+# fingerprint, format versions, env knobs, dep digests) — a payload
+# valid on disk under a digest is equally valid in memory under it.
+# Disabled by default (limit 0): batch CLI runs gain little, and tests
+# that corrupt the disk tier to force re-execution must keep seeing
+# the disk as the source of truth.  The experiment service turns it on.
+
+_STAGE_MEMORY_LOCK = threading.Lock()
+_STAGE_MEMORY: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+_STAGE_MEMORY_LIMIT = 0
+_STAGE_MEMORY_STATS = {"hits": 0, "misses": 0, "stored": 0, "evicted": 0}
+
+
+def configure_stage_memory(limit: int) -> None:
+    """Set the in-memory tier's capacity (entries); 0 disables it."""
+    global _STAGE_MEMORY_LIMIT
+    with _STAGE_MEMORY_LOCK:
+        _STAGE_MEMORY_LIMIT = max(0, int(limit))
+        while len(_STAGE_MEMORY) > _STAGE_MEMORY_LIMIT:
+            _STAGE_MEMORY.popitem(last=False)
+            _STAGE_MEMORY_STATS["evicted"] += 1
+
+
+def reset_stage_memory() -> None:
+    """Drop all entries and zero the counters (tests, code drift)."""
+    with _STAGE_MEMORY_LOCK:
+        _STAGE_MEMORY.clear()
+        for name in _STAGE_MEMORY_STATS:
+            _STAGE_MEMORY_STATS[name] = 0
+
+
+def stage_memory_stats() -> Dict[str, int]:
+    with _STAGE_MEMORY_LOCK:
+        snapshot = dict(_STAGE_MEMORY_STATS)
+        snapshot["entries"] = len(_STAGE_MEMORY)
+        snapshot["limit"] = _STAGE_MEMORY_LIMIT
+    return snapshot
+
+
+def _stage_memory_get(kind: str, key: str) -> Any:
+    with _STAGE_MEMORY_LOCK:
+        if _STAGE_MEMORY_LIMIT <= 0:
+            return None
+        entry = _STAGE_MEMORY.get((kind, key))
+        if entry is None:
+            _STAGE_MEMORY_STATS["misses"] += 1
+            return None
+        _STAGE_MEMORY.move_to_end((kind, key))
+        _STAGE_MEMORY_STATS["hits"] += 1
+        return entry
+
+
+def _stage_memory_put(kind: str, key: str, payload: Any) -> None:
+    with _STAGE_MEMORY_LOCK:
+        if _STAGE_MEMORY_LIMIT <= 0:
+            return
+        _STAGE_MEMORY[(kind, key)] = payload
+        _STAGE_MEMORY.move_to_end((kind, key))
+        _STAGE_MEMORY_STATS["stored"] += 1
+        while len(_STAGE_MEMORY) > _STAGE_MEMORY_LIMIT:
+            _STAGE_MEMORY.popitem(last=False)
+            _STAGE_MEMORY_STATS["evicted"] += 1
+
+
 # -- stage executors (run in workers; must stay module-top-level) -------
 
 
@@ -446,14 +517,36 @@ def _execute_stage(
     dep_info: List[Tuple[str, Dict[str, Any], Any]],
     cache_mode: str,
     result_digest: Optional[str],
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Worker entry point: run one stage, capture failure + telemetry.
+
+    ``cache_dir`` is the suite's resolved cache root, re-applied here
+    because warm-pool workers outlive any single suite and must not
+    trust environment inherited at fork time (see
+    :func:`repro.experiments.engine._execute_one`).
 
     Returns a JSON/pickle-safe envelope; never raises.  Intermediate
     payloads are written to the ``stages/`` tier here (in the worker,
     which already holds the payload); terminal payloads go to the flat
     ``results/`` tier exactly like the flat engine's workers.
     """
+    with storage.cache_overrides(
+        cache_dir=cache_dir, disable=(cache_mode == CACHE_OFF)
+    ):
+        return _execute_stage_inner(
+            kind, key, params, dep_info, cache_mode, result_digest
+        )
+
+
+def _execute_stage_inner(
+    kind: str,
+    key: str,
+    params: Dict[str, Any],
+    dep_info: List[Tuple[str, Dict[str, Any], Any]],
+    cache_mode: str,
+    result_digest: Optional[str],
+) -> Dict[str, Any]:
     telemetry.reset_counters()
     started = time.perf_counter()
     out: Dict[str, Any] = {"key": key, "error": None, "payload": None, "stored": False}
@@ -504,6 +597,7 @@ def execute_suite(
     *,
     jobs: int = 1,
     cache_mode: str = CACHE_ON,
+    cache_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``[(experiment_id, run_kwargs), ...]`` through the stage graph.
 
@@ -511,7 +605,8 @@ def execute_suite(
     order — the same envelope the flat engine's workers produce, so
     :func:`repro.experiments.engine.run_suite` assembles outcomes
     identically on both paths.  Must be called with the cache
-    environment already applied (run_suite does this).
+    overrides already applied (run_suite does this); ``cache_dir`` is
+    the resolved root, forwarded to pool workers as a task argument.
     """
     from repro.experiments.registry import by_id
 
@@ -572,7 +667,14 @@ def execute_suite(
     if cache_mode != CACHE_OFF:
         for key, stage in stages.items():
             if stage.kind in _INTERMEDIATE_KINDS:
-                cached = store.load_stage(stage.kind, key)
+                # Memory tier first (service hot path: no stat, no JSON
+                # parse), then the stages/ disk tier, which backfills
+                # the memory tier on a hit.
+                cached = _stage_memory_get(stage.kind, key)
+                if cached is None:
+                    cached = store.load_stage(stage.kind, key)
+                    if cached is not None:
+                        _stage_memory_put(stage.kind, key, cached)
                 if cached is not None:
                     payloads[key] = cached
                     status[key] = "hit"
@@ -618,6 +720,8 @@ def execute_suite(
         payloads[key] = out["payload"]
         status[key] = "exec"
         done.add(key)
+        if stages[key].kind in _INTERMEDIATE_KINDS and cache_mode != CACHE_OFF:
+            _stage_memory_put(stages[key].kind, key, out["payload"])
         ready: List[str] = []
         for dependent in dependents.get(key, ()):
             unmet[dependent] -= 1
@@ -640,6 +744,7 @@ def execute_suite(
             dep_info,
             cache_mode,
             terminal_digest.get(key),
+            cache_dir,
         )
 
     if jobs == 1 or len(order) <= 1:
@@ -649,12 +754,12 @@ def execute_suite(
                 continue
             _finish(_execute_stage(*_submit_args(key)))
     elif order:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(order))) as pool:
+        with warm_pool.suite_executor(jobs, len(order)) as executor:
             futures: Dict[Any, str] = {}
             ready = [key for key in order if unmet[key] == 0]
             while ready or futures:
                 for key in ready:
-                    futures[pool.submit(_execute_stage, *_submit_args(key))] = key
+                    futures[executor.submit(_execute_stage, *_submit_args(key))] = key
                 ready = []
                 if not futures:
                     break

@@ -1,0 +1,369 @@
+"""Warm pool + experiment service: differential identity, pool
+lifecycle, explicit cache threading, single-flight coalescing, watch
+invalidation, and the in-memory stage tier.
+
+The contract under test (docs/PERFORMANCE.md, docs/EXPERIMENT_GUIDE.md):
+``REPRO_WARM_POOL=1`` (the default) keeps one preloaded worker pool
+alive across suites with markdown output byte-identical to the
+throwaway-pool path; ``run_suite`` never mutates ``os.environ`` and a
+fully-cached parallel run never pays pool dispatch; the service
+coalesces identical concurrent requests into one computation, replays
+identical later requests from its memo, recomputes exactly the dirty
+stage subgraph under watch, and serves hot stage payloads from memory
+without touching the ``stages/`` disk tier.
+"""
+
+import json
+import os
+import shutil
+import threading
+
+import pytest
+
+from repro.common import telemetry
+from repro.experiments import cache as result_cache
+from repro.experiments import engine, runner
+from repro.experiments import pool as warm_pool
+from repro.experiments import stages as stage_graph
+from repro.experiments.service import ExperimentService
+
+EVENTS = 1200
+WORKLOADS = ("nginx", "pipe-ipc")
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Fresh on-disk cache and clean in-process memos per test."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv(result_cache.CACHE_DIR_ENV, str(root))
+    runner.reset_context_memos()
+    telemetry.reset_counters()
+    yield root
+    runner.reset_context_memos()
+
+
+@pytest.fixture(autouse=True)
+def _clean_serving_state():
+    """Tear down the cross-suite serving layers between tests."""
+    yield
+    warm_pool.shutdown(wait=False)
+    stage_graph.configure_stage_memory(0)
+    stage_graph.reset_stage_memory()
+
+
+def _markdowns(run):
+    return {
+        o.experiment_id: o.result.to_markdown()
+        for o in run.outcomes
+        if o.result is not None
+    }
+
+
+class TestWarmPoolDifferential:
+    def test_full_registry_markdown_identical(self, cache_dir, monkeypatch):
+        """The acceptance bar: every registry artifact byte-identical
+        with the warm pool on and off."""
+        monkeypatch.setenv(warm_pool.WARM_POOL_ENV, "0")
+        throwaway = engine.run_suite(events=EVENTS, cache_mode=engine.CACHE_OFF, jobs=4)
+        assert not throwaway.failures
+        runner.reset_context_memos()
+        monkeypatch.setenv(warm_pool.WARM_POOL_ENV, "1")
+        warm = engine.run_suite(events=EVENTS, cache_mode=engine.CACHE_OFF, jobs=4)
+        assert not warm.failures
+        assert _markdowns(throwaway) == _markdowns(warm)
+
+
+class TestWarmPool:
+    def test_pool_persists_across_suites(self, cache_dir):
+        overrides = {"fig13": {"workloads": WORKLOADS, "events": EVENTS}}
+        before = warm_pool.stats()["created"]
+        # CACHE_OFF so both suites schedule the full DAG over the pool
+        # (warm hits would shrink the second to a serial analysis pass).
+        engine.run_suite(["fig13"], jobs=2, cache_mode=engine.CACHE_OFF,
+                         run_overrides=overrides)
+        engine.run_suite(["fig13"], jobs=2, cache_mode=engine.CACHE_OFF,
+                         run_overrides=overrides)
+        stats = warm_pool.stats()
+        assert stats["created"] == before + 1
+        assert stats["active"]
+        assert stats["suites_served"] == 2
+
+    def test_env_knob_flip_recycles_pool(self, cache_dir, monkeypatch):
+        overrides = {"fig13": {"workloads": WORKLOADS, "events": EVENTS}}
+        engine.run_suite(["fig13"], jobs=2, cache_mode=engine.CACHE_OFF,
+                         run_overrides=overrides)
+        first_key = warm_pool.pool_key(2)
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        assert warm_pool.pool_key(2) != first_key
+        recycled_before = warm_pool.stats()["recycled"]
+        engine.run_suite(["fig13"], jobs=2, cache_mode=engine.CACHE_OFF,
+                         run_overrides=overrides)
+        stats = warm_pool.stats()
+        assert stats["recycled"] == recycled_before + 1
+        assert stats["active"]
+
+    def test_kill_switch_uses_throwaway_pool(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(warm_pool.WARM_POOL_ENV, "0")
+        created_before = warm_pool.stats()["created"]
+        run = engine.run_suite(
+            ["fig13"], jobs=2, cache_mode=engine.CACHE_OFF,
+            run_overrides={"fig13": {"workloads": WORKLOADS, "events": EVENTS}},
+        )
+        assert not run.failures
+        assert warm_pool.stats()["created"] == created_before
+
+    def test_jobs_change_recycles(self, cache_dir):
+        assert warm_pool.pool_key(2) != warm_pool.pool_key(4)
+
+
+class TestCacheThreading:
+    """Satellite: run_suite must not mutate os.environ, and must probe
+    all tasks before paying pool dispatch."""
+
+    def test_run_suite_leaves_environ_alone(self, cache_dir, tmp_path, monkeypatch):
+        other = tmp_path / "other-cache"
+        monkeypatch.delenv(result_cache.CACHE_DISABLE_ENV, raising=False)
+        run = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_ON,
+            cache_dir=str(other),
+            run_overrides={"fig13": {"workloads": WORKLOADS, "events": EVENTS}},
+        )
+        assert not run.failures
+        # The env still points at the fixture cache; the explicit
+        # cache_dir won and was never written back to the environment.
+        assert os.environ[result_cache.CACHE_DIR_ENV] == str(cache_dir)
+        assert result_cache.CACHE_DISABLE_ENV not in os.environ
+        assert run.report.cache_dir == str(other)
+        assert (other / "results").exists()
+        assert not (cache_dir / "results").exists()
+
+    def test_cache_off_does_not_set_disable_env(self, cache_dir):
+        run = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_OFF,
+            run_overrides={"fig13": {"workloads": WORKLOADS, "events": EVENTS}},
+        )
+        assert not run.failures
+        assert result_cache.CACHE_DISABLE_ENV not in os.environ
+        assert not (cache_dir / "results").exists()
+
+    def test_fully_cached_parallel_run_skips_the_pool(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(result_cache.STAGE_GRAPH_ENV, "0")
+        overrides = {
+            eid: {"workloads": WORKLOADS, "events": EVENTS}
+            for eid in ("fig12", "fig13")
+        }
+        cold = engine.run_suite(
+            ["fig12", "fig13"], jobs=1, cache_mode=engine.CACHE_ON,
+            run_overrides=overrides,
+        )
+        assert not cold.failures
+
+        def _no_pool(jobs, task_count):
+            raise AssertionError("fully-cached suite must not start a pool")
+
+        monkeypatch.setattr(warm_pool, "suite_executor", _no_pool)
+        monkeypatch.setattr(engine.warm_pool, "suite_executor", _no_pool)
+        warm = engine.run_suite(
+            ["fig12", "fig13"], jobs=4, cache_mode=engine.CACHE_ON,
+            run_overrides=overrides,
+        )
+        assert not warm.failures
+        assert all(r.cache == telemetry.CACHE_HIT for r in warm.report.records)
+        assert _markdowns(cold) == _markdowns(warm)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self, cache_dir):
+        svc = ExperimentService(jobs=2, cache_dir=str(cache_dir), memo_limit=8)
+        request = {
+            "op": "run",
+            "experiments": ["fig13"],
+            "events": EVENTS,
+            "run_overrides": {"fig13": {"workloads": list(WORKLOADS)}},
+        }
+        responses = [None, None]
+        barrier = threading.Barrier(2)
+
+        def issue(slot):
+            barrier.wait()
+            responses[slot] = svc.handle(dict(request))
+
+        threads = [threading.Thread(target=issue, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r["ok"] for r in responses)
+        served = sorted(r["served"] for r in responses)
+        assert served == ["coalesced", "computed"]
+        # One flight, one set of stage executions, shared verbatim.
+        assert responses[0]["markdown"] == responses[1]["markdown"]
+        assert responses[0]["stage_counters"] == responses[1]["stage_counters"]
+        assert responses[0]["stage_counters"]["executed"] > 0
+        block = svc.service_block()
+        assert block["served"] == {"computed": 1, "memo": 0, "coalesced": 1}
+
+        # A later identical request replays from the memo.
+        replay = svc.handle(dict(request))
+        assert replay["served"] == "memo"
+        assert replay["markdown"] == responses[0]["markdown"]
+
+    def test_memo_distinguishes_parameters(self, cache_dir):
+        svc = ExperimentService(jobs=1, cache_dir=str(cache_dir), memo_limit=8)
+        base = {
+            "op": "run",
+            "experiments": ["fig13"],
+            "events": EVENTS,
+            "run_overrides": {"fig13": {"workloads": list(WORKLOADS)}},
+        }
+        first = svc.handle(dict(base))
+        assert first["served"] == "computed"
+        other = dict(base, seed=99)
+        second = svc.handle(other)
+        assert second["served"] == "computed"
+        assert svc.handle(dict(base))["served"] == "memo"
+        assert svc.handle(dict(other))["served"] == "memo"
+
+
+class TestWatch:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+
+    def test_watch_recomputes_exactly_the_dirty_subgraph(self, cache_dir, tmp_path):
+        svc = ExperimentService(jobs=1, cache_dir=str(cache_dir), memo_limit=8)
+        watch_file = tmp_path / "request.json"
+        self._write(
+            watch_file,
+            {
+                "experiments": ["fig13"],
+                "events": EVENTS,
+                "run_overrides": {"fig13": {"workloads": list(WORKLOADS)}},
+            },
+        )
+        digest = svc.watch_tick(watch_file, None)
+        assert digest is not None
+        assert svc._watch["runs"] == 1
+
+        # Unchanged file: polled, not re-run.
+        assert svc.watch_tick(watch_file, digest) == digest
+        assert svc._watch["runs"] == 1
+
+        # Perturb the request to a subset of the workloads: every
+        # trace / calibration / eval stage is already on disk, so only
+        # the new terminal analysis stage may execute.
+        self._write(
+            watch_file,
+            {
+                "experiments": ["fig13"],
+                "events": EVENTS,
+                "run_overrides": {"fig13": {"workloads": [WORKLOADS[0]]}},
+            },
+        )
+        new_digest = svc.watch_tick(watch_file, digest)
+        assert new_digest != digest
+        assert svc._watch["runs"] == 2
+        record = svc._last_report.records[0]
+        counters = record.simulation["stages"]["counters"]
+        assert counters["executed"] == 1
+        assert counters["failed"] == 0
+        executed = [
+            row for row in record.simulation["stages"]["detail"]
+            if row["status"] == "exec"
+        ]
+        assert [row["kind"] for row in executed] == ["analysis"]
+        # The untouched per-workload stages were served, not re-run.
+        assert counters["hit"] > 0
+        block = svc.service_block()
+        assert block["watch"]["checks"] == 3
+        assert block["watch"]["runs"] == 2
+
+    def test_watch_survives_unreadable_file(self, cache_dir, tmp_path):
+        svc = ExperimentService(jobs=1, cache_dir=str(cache_dir))
+        missing = tmp_path / "nope.json"
+        assert svc.watch_tick(missing, None) is None
+        assert svc._watch["runs"] == 0
+
+
+class TestStageMemory:
+    def test_disabled_by_default(self, cache_dir):
+        stats = stage_graph.stage_memory_stats()
+        assert stats["limit"] == 0
+        run = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_ON,
+            run_overrides={"fig13": {"workloads": WORKLOADS, "events": EVENTS}},
+        )
+        assert not run.failures
+        assert stage_graph.stage_memory_stats()["entries"] == 0
+
+    def test_serves_hot_stages_without_the_disk_tier(self, cache_dir):
+        stage_graph.configure_stage_memory(128)
+        overrides = {"fig13": {"workloads": WORKLOADS, "events": EVENTS}}
+        cold = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_ON, run_overrides=overrides
+        )
+        assert not cold.failures
+        assert stage_graph.stage_memory_stats()["stored"] > 0
+
+        # A refresh recomputes the terminal but probes intermediates —
+        # now from memory.
+        refreshed = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_REFRESH, run_overrides=overrides
+        )
+        assert not refreshed.failures
+        hits_after_refresh = stage_graph.stage_memory_stats()["hits"]
+        assert hits_after_refresh > 0
+
+        # Remove the disk tier entirely: the memory tier still serves
+        # every intermediate (no stat, no JSON parse, no rebuild).
+        shutil.rmtree(cache_dir / "stages")
+        again = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_REFRESH, run_overrides=overrides
+        )
+        assert not again.failures
+        counters = again.report.records[0].simulation["stages"]["counters"]
+        assert counters["hit"] > 0
+        assert counters["executed"] == 1  # the terminal analysis only
+        assert _markdowns(cold) == _markdowns(again)
+
+    def test_lru_eviction(self):
+        stage_graph.configure_stage_memory(2)
+        stage_graph._stage_memory_put("eval", "a", 1)
+        stage_graph._stage_memory_put("eval", "b", 2)
+        assert stage_graph._stage_memory_get("eval", "a") == 1  # refresh a
+        stage_graph._stage_memory_put("eval", "c", 3)  # evicts b
+        assert stage_graph._stage_memory_get("eval", "b") is None
+        assert stage_graph._stage_memory_get("eval", "a") == 1
+        assert stage_graph._stage_memory_get("eval", "c") == 3
+        stats = stage_graph.stage_memory_stats()
+        assert stats["evicted"] == 1
+        assert stats["entries"] == 2
+
+
+class TestServiceTelemetry:
+    def test_report_round_trips_service_block(self, cache_dir):
+        svc = ExperimentService(jobs=1, cache_dir=str(cache_dir), memo_limit=8)
+        svc.handle({
+            "op": "run",
+            "experiments": ["fig13"],
+            "events": EVENTS,
+            "run_overrides": {"fig13": {"workloads": list(WORKLOADS)}},
+        })
+        path = svc.write_report()
+        report = telemetry.RunReport.read(path)
+        assert report.service["requests"] == 1
+        assert report.service["latency_ms"]["count"] == 1
+        assert report.service["latency_ms"]["p50"] > 0
+        rendered = report.format_service()
+        assert "requests: 1" in rendered
+        assert "p95" in rendered
+        assert "warm pool" in rendered
+
+    def test_plain_reports_have_no_service_block(self, cache_dir):
+        run = engine.run_suite(
+            ["fig13"], jobs=1, cache_mode=engine.CACHE_OFF,
+            run_overrides={"fig13": {"workloads": WORKLOADS, "events": EVENTS}},
+        )
+        payload = run.report.to_json_dict()
+        assert "service" not in payload
+        assert "no service telemetry" in run.report.format_service()
